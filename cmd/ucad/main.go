@@ -1,0 +1,151 @@
+// Command ucad trains the detector on a database audit log and detects
+// anomalous sessions in another log.
+//
+// Usage:
+//
+//	ucad train  -log normal.jsonl -model ucad.model [-epochs 20]
+//	ucad detect -log active.jsonl -model ucad.model
+//
+// Audit logs are JSON lines with fields ts, user, addr, session_id and
+// sql (see internal/session). cmd/tracegen produces compatible logs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ucad/ucad/internal/core"
+	"github.com/ucad/ucad/internal/session"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "train":
+		runTrain(os.Args[2:])
+	case "detect":
+		runDetect(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ucad train|detect -log FILE -model FILE [flags]")
+	os.Exit(2)
+}
+
+func runTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	logPath := fs.String("log", "", "audit log (JSON lines) of normal activity")
+	modelPath := fs.String("model", "ucad.model", "output model file")
+	epochs := fs.Int("epochs", 0, "override training epochs")
+	window := fs.Int("window", 0, "override input window L")
+	topP := fs.Int("p", 0, "override detection top-p")
+	hidden := fs.Int("hidden", 0, "override latent dimension h")
+	skipClean := fs.Bool("skip-clean", false, "disable clustering-based noise removal")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *logPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*logPath)
+	fatalIf(err)
+	defer f.Close()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Model.Seed = *seed
+	cfg.SkipClean = *skipClean
+	if *epochs > 0 {
+		cfg.Model.Epochs = *epochs
+	}
+	if *window > 0 {
+		cfg.Model.Window = *window
+	}
+	if *topP > 0 {
+		cfg.Model.TopP = *topP
+	}
+	if *hidden > 0 {
+		cfg.Model.Hidden = *hidden
+		for cfg.Model.Hidden%cfg.Model.Heads != 0 {
+			cfg.Model.Heads--
+		}
+	}
+
+	start := time.Now()
+	u, err := core.TrainFromLog(cfg, f, func(epoch int, loss float64) {
+		fmt.Printf("epoch %3d  loss %.5f\n", epoch+1, loss)
+	})
+	fatalIf(err)
+	fmt.Printf("trained on %d templates in %s (noise removal: %d -> %d sessions)\n",
+		u.Vocab.Size()-1, time.Since(start).Round(time.Millisecond),
+		u.Report.Input, u.Report.Output)
+
+	out, err := os.Create(*modelPath)
+	fatalIf(err)
+	defer out.Close()
+	fatalIf(u.Save(out))
+	fmt.Println("model written to", *modelPath)
+}
+
+func runDetect(args []string) {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	logPath := fs.String("log", "", "audit log (JSON lines) of active sessions")
+	modelPath := fs.String("model", "ucad.model", "trained model file")
+	idleGap := fs.Duration("idle-gap", 10*time.Minute, "session split gap for logs without session ids")
+	verbose := fs.Bool("v", false, "print every session verdict")
+	fs.Parse(args)
+	if *logPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	mf, err := os.Open(*modelPath)
+	fatalIf(err)
+	u, err := core.Load(mf)
+	mf.Close()
+	fatalIf(err)
+
+	lf, err := os.Open(*logPath)
+	fatalIf(err)
+	defer lf.Close()
+	ops, err := session.ReadLog(lf)
+	fatalIf(err)
+	sessions := session.Sessionize(ops, *idleGap)
+
+	flagged := 0
+	for _, s := range sessions {
+		bad := u.DetectSession(s)
+		if len(bad) == 0 {
+			if *verbose {
+				fmt.Printf("OK      %-24s user=%s ops=%d\n", s.ID, s.User, len(s.Ops))
+			}
+			continue
+		}
+		flagged++
+		fmt.Printf("ANOMALY %-24s user=%s ops=%d suspicious=%v\n", s.ID, s.User, len(s.Ops), bad)
+		for _, idx := range bad {
+			if idx < len(s.Ops) {
+				fmt.Printf("        op[%d]: %s\n", idx, s.Ops[idx].SQL)
+			}
+		}
+	}
+	fmt.Printf("%d of %d sessions flagged\n", flagged, len(sessions))
+	if flagged > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ucad:", err)
+		os.Exit(1)
+	}
+}

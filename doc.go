@@ -1,0 +1,13 @@
+// Package ucad is the root of the UCAD reproduction: an unsupervised
+// contextual anomaly detection system for database access logs
+// (Li et al., SIGMOD 2022), implemented in pure Go.
+//
+// The public surface lives under internal/ packages wired together by
+// the cmd/ binaries and examples/; see README.md for the architecture
+// and DESIGN.md for the per-experiment reproduction index. The
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation at a CI-friendly scale.
+package ucad
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

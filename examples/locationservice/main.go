@@ -1,0 +1,80 @@
+// Locationservice reproduces the paper's second user-study case (§6.7,
+// Figure 9b): a maliciously repackaged app steals a legitimate app's
+// credential and floods manipulated location reports, then wipes its
+// trail. UCAD flags the session because the operation pattern deviates
+// from the contextual intent of authenticated reporting.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/ucad/ucad/internal/core"
+	"github.com/ucad/ucad/internal/minidb"
+	"github.com/ucad/ucad/internal/session"
+	"github.com/ucad/ucad/internal/workload"
+)
+
+func main() {
+	// The generator synthesizes the reporting/fingerprint workload; a
+	// minidb instance executes the location-reporting hot path so the
+	// anomaly replays against a real engine.
+	gen := workload.NewGenerator(workload.ScenarioII(0.12), 11)
+	normal := gen.GenerateSessions(150)
+
+	cfg := core.DefaultConfig()
+	cfg.SkipClean = true
+	cfg.Model.Hidden, cfg.Model.Heads, cfg.Model.Blocks = 32, 4, 2
+	cfg.Model.Window, cfg.Model.TopP = 60, 10
+	cfg.Model.Epochs = 8
+	cfg.Model.Dropout = 0
+	cfg.Model.MinContext = 3
+	detector, err := core.Train(cfg, normal, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d sessions, %d templates\n", len(normal), detector.Vocab.Size()-1)
+
+	// Execute the attack against a live engine to produce its audit log.
+	db := minidb.NewDB()
+	clock := time.Date(2022, 6, 13, 12, 0, 0, 0, time.UTC)
+	db.Now = func() time.Time { clock = clock.Add(200 * time.Millisecond); return clock }
+	setup := db.Connect("dba", "127.0.0.1", "setup")
+	for _, stmt := range []string{
+		"CREATE TABLE t_auth (dev INT, token TEXT, last_ts INT)",
+		"CREATE TABLE t_dev (dev INT, last_seen INT)",
+		"CREATE TABLE loc_rm (dev INT, lat INT, lon INT, ts INT)",
+	} {
+		if _, err := setup.Exec(stmt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.ResetAudit()
+
+	evil := db.Connect("app2", "172.16.0.11", "repackaged-app")
+	mustExec(evil, "SELECT token FROM t_auth WHERE dev = 9021") // stolen credential check
+	for i := 0; i < 14; i++ {                                   // manipulated location flood
+		mustExec(evil, fmt.Sprintf("INSERT INTO loc_rm (dev, lat, lon, ts) VALUES (9021, %d, %d, %d)", i, 2*i, 1655000000+i))
+	}
+	mustExec(evil, "DELETE FROM loc_rm WHERE dev = 9021") // wipe the trail
+
+	for _, s := range session.Sessionize(db.AuditLog(), time.Hour) {
+		bad := detector.DetectSession(s)
+		fmt.Printf("session %s (%d ops): anomalous=%v\n", s.ID, len(s.Ops), len(bad) > 0)
+		for _, idx := range bad {
+			fmt.Printf("  suspicious op[%d]: %s\n", idx, s.Ops[idx].SQL)
+		}
+	}
+
+	// Contrast: a legitimate reporter session passes.
+	probe := gen.NewSession()
+	fmt.Printf("legitimate session %s (%d ops): anomalous=%v\n",
+		probe.ID, len(probe.Ops), detector.IsAnomalous(probe))
+}
+
+func mustExec(c *minidb.Conn, sql string) {
+	if _, err := c.Exec(sql); err != nil {
+		log.Fatalf("%q: %v", sql, err)
+	}
+}

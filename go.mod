@@ -1,0 +1,3 @@
+module github.com/ucad/ucad
+
+go 1.22

@@ -1,0 +1,152 @@
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/ucad/ucad/internal/nn"
+	"github.com/ucad/ucad/internal/tensor"
+)
+
+// DeepLog is the LSTM log-anomaly detector of Du et al. [21]: a
+// next-key language model over statement keys; an operation whose key is
+// not among the model's top-g predictions makes the session anomalous.
+// DeepLog depends on strict operation ordering, which is exactly what
+// heterogeneous database access patterns violate — the source of its
+// high FPR in Table 2.
+type DeepLog struct {
+	// Window is the history length h fed to the LSTM (default 10).
+	Window int
+	// Hidden is the LSTM width (default 32); Embed the key embedding
+	// size (default 24 — the original uses one-hot, an embedding is the
+	// standard efficient equivalent).
+	Hidden, Embed int
+	// TopG is the number of candidate next keys considered normal
+	// (default 9, the DeepLog paper's g).
+	TopG int
+	// Epochs and LR control Adam training.
+	Epochs int
+	LR     float64
+	// MaxWindows caps training windows per epoch (0 = all).
+	MaxWindows int
+	// Seed drives initialization and shuffling.
+	Seed int64
+
+	vocab  int
+	emb    *nn.Embedding
+	cell   *nn.LSTMCell
+	head   *nn.Linear
+	params []*tensor.Param
+	rng    *rand.Rand
+}
+
+// NewDeepLog returns a detector with the original paper's defaults.
+func NewDeepLog(seed int64) *DeepLog {
+	return &DeepLog{Window: 10, Hidden: 32, Embed: 24, TopG: 9, Epochs: 5, LR: 0.01, Seed: seed}
+}
+
+// Name implements metrics.Detector.
+func (d *DeepLog) Name() string { return "DeepLog" }
+
+type dlWindow struct {
+	ctx  []int
+	next int
+}
+
+// Fit implements metrics.Detector.
+func (d *DeepLog) Fit(train [][]int) {
+	var windows []dlWindow
+	for _, s := range train {
+		for t := 1; t < len(s); t++ {
+			start := t - d.Window
+			if start < 0 {
+				start = 0
+			}
+			windows = append(windows, dlWindow{ctx: s[start:t], next: s[t]})
+		}
+	}
+	if len(windows) == 0 {
+		d.emb = nil // stay untrained: Flag reports nothing
+		return
+	}
+	d.vocab = MaxKey(train) + 1
+	d.rng = rand.New(rand.NewSource(d.Seed))
+	d.emb = nn.NewEmbedding("deeplog.emb", d.vocab, d.Embed, d.rng)
+	d.cell = nn.NewLSTMCell("deeplog.lstm", d.Embed, d.Hidden, d.rng)
+	d.head = nn.NewLinear("deeplog.head", d.Hidden, d.vocab, d.rng)
+	d.params = nn.CollectParams(d.emb, d.cell, d.head)
+	opt := nn.NewAdam(d.LR)
+	order := make([]int, len(windows))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < d.Epochs; epoch++ {
+		d.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		limit := len(order)
+		if d.MaxWindows > 0 && d.MaxWindows < limit {
+			limit = d.MaxWindows
+		}
+		for _, wi := range order[:limit] {
+			w := windows[wi]
+			tp := tensor.NewTape()
+			logits := d.logits(tp, w.ctx)
+			loss := tp.CrossEntropyMean(logits, []int{w.next})
+			tp.Backward(loss)
+			opt.Step(d.params)
+		}
+	}
+}
+
+// logits runs the LSTM over ctx and returns the 1 x vocab next-key
+// scores.
+func (d *DeepLog) logits(tp *tensor.Tape, ctx []int) *tensor.Node {
+	var h, c *tensor.Node
+	for _, k := range ctx {
+		x := d.emb.Lookup(tp, []int{k})
+		h, c = d.cell.Step(tp, x, h, c)
+	}
+	if h == nil {
+		h = tp.Const(tensor.NewMatrix(1, d.Hidden))
+	}
+	return d.head.Forward(tp, h)
+}
+
+// rankOf returns the 1-based rank of key in the next-key prediction.
+func (d *DeepLog) rankOf(ctx []int, key int) int {
+	tp := tensor.NewTape()
+	logits := d.logits(tp, ctx).Value.Row(0)
+	if key < 0 || key >= len(logits) {
+		return len(logits) + 1
+	}
+	order := make([]int, len(logits))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return logits[order[a]] > logits[order[b]] })
+	for rank, k := range order {
+		if k == key {
+			return rank + 1
+		}
+	}
+	return len(logits) + 1
+}
+
+// Flag implements metrics.Detector.
+func (d *DeepLog) Flag(keys []int) bool {
+	if d.emb == nil {
+		return false
+	}
+	for t := 1; t < len(keys); t++ {
+		start := t - d.Window
+		if start < 0 {
+			start = 0
+		}
+		if keys[t] <= 0 || keys[t] >= d.vocab {
+			return true // unseen statement key
+		}
+		if d.rankOf(keys[start:t], keys[t]) > d.TopG {
+			return true
+		}
+	}
+	return false
+}

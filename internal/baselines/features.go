@@ -1,0 +1,54 @@
+// Package baselines implements the five comparison methods of the
+// paper's Table 2 — OneClassSVM [67], Isolation Forest [48], Mazzawi et
+// al.'s behavioral patterning [52], DeepLog [21] and USAD [11] — plus
+// LogCluster [46] for the transfer experiment (Table 6). All satisfy
+// metrics.Detector so the experiment harness treats them uniformly.
+package baselines
+
+import "sort"
+
+// MaxKey returns the largest statement key in the training sessions.
+func MaxKey(train [][]int) int {
+	max := 0
+	for _, s := range train {
+		for _, k := range s {
+			if k > max {
+				max = k
+			}
+		}
+	}
+	return max
+}
+
+// CountVector profiles a session as the per-key operation counts — the
+// n-dimensional representation the paper feeds to OneClassSVM and
+// iForest (§6.1). Index 0 buckets unknown keys (k0 or beyond the
+// training vocabulary).
+func CountVector(keys []int, vocab int) []float64 {
+	v := make([]float64, vocab+1)
+	for _, k := range keys {
+		if k <= 0 || k > vocab {
+			v[0]++
+			continue
+		}
+		v[k]++
+	}
+	return v
+}
+
+// quantile returns the q-quantile (0..1) of xs by linear ranking.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,160 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// sortByGrad orders idx by ascending grad value (shared helper).
+func sortByGrad(idx []int, grad []float64) {
+	sort.Slice(idx, func(a, b int) bool { return grad[idx[a]] < grad[idx[b]] })
+}
+
+// IForest is the Isolation Forest of Liu et al. [48] over session count
+// vectors.
+type IForest struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// SampleSize ψ is the sub-sample per tree (default 256).
+	SampleSize int
+	// Contamination sets the score threshold at the (1-c) training
+	// quantile (default 0.05).
+	Contamination float64
+	// Seed drives sampling and split choices.
+	Seed int64
+
+	vocab     int
+	trees     []*iNode
+	threshold float64
+}
+
+// NewIForest returns a detector with library defaults.
+func NewIForest(seed int64) *IForest {
+	return &IForest{Trees: 100, SampleSize: 256, Contamination: 0.05, Seed: seed}
+}
+
+// Name implements metrics.Detector.
+func (f *IForest) Name() string { return "iForest" }
+
+type iNode struct {
+	feature     int
+	split       float64
+	size        int // leaf: sample count for path-length correction
+	left, right *iNode
+}
+
+// c is the average unsuccessful-search path length in a BST of n nodes.
+func avgPathLen(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+func buildTree(rng *rand.Rand, data [][]float64, depth, maxDepth int) *iNode {
+	if len(data) <= 1 || depth >= maxDepth {
+		return &iNode{size: len(data)}
+	}
+	dim := len(data[0])
+	// Choose a feature with spread; give up after a few attempts.
+	for attempt := 0; attempt < 8; attempt++ {
+		feat := rng.Intn(dim)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range data {
+			if x[feat] < lo {
+				lo = x[feat]
+			}
+			if x[feat] > hi {
+				hi = x[feat]
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		split := lo + rng.Float64()*(hi-lo)
+		var left, right [][]float64
+		for _, x := range data {
+			if x[feat] < split {
+				left = append(left, x)
+			} else {
+				right = append(right, x)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			continue
+		}
+		return &iNode{
+			feature: feat,
+			split:   split,
+			left:    buildTree(rng, left, depth+1, maxDepth),
+			right:   buildTree(rng, right, depth+1, maxDepth),
+		}
+	}
+	return &iNode{size: len(data)}
+}
+
+func pathLength(n *iNode, x []float64, depth float64) float64 {
+	if n.left == nil {
+		return depth + avgPathLen(n.size)
+	}
+	if x[n.feature] < n.split {
+		return pathLength(n.left, x, depth+1)
+	}
+	return pathLength(n.right, x, depth+1)
+}
+
+// Fit implements metrics.Detector.
+func (f *IForest) Fit(train [][]int) {
+	f.vocab = MaxKey(train)
+	if len(train) == 0 {
+		return
+	}
+	xs := make([][]float64, len(train))
+	for i, s := range train {
+		xs[i] = CountVector(s, f.vocab)
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	psi := f.SampleSize
+	if psi > len(xs) {
+		psi = len(xs)
+	}
+	maxDepth := int(math.Ceil(math.Log2(float64(psi)))) + 1
+	f.trees = f.trees[:0]
+	for t := 0; t < f.Trees; t++ {
+		sample := make([][]float64, psi)
+		perm := rng.Perm(len(xs))
+		for i := 0; i < psi; i++ {
+			sample[i] = xs[perm[i]]
+		}
+		f.trees = append(f.trees, buildTree(rng, sample, 0, maxDepth))
+	}
+	scores := make([]float64, len(xs))
+	for i, x := range xs {
+		scores[i] = f.score(x)
+	}
+	f.threshold = quantile(scores, 1-f.Contamination)
+}
+
+// score is the anomaly score s(x) = 2^{-E[h(x)]/c(ψ)} ∈ (0, 1].
+func (f *IForest) score(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	var total float64
+	for _, t := range f.trees {
+		total += pathLength(t, x, 0)
+	}
+	mean := total / float64(len(f.trees))
+	psi := f.SampleSize
+	return math.Pow(2, -mean/avgPathLen(psi))
+}
+
+// Flag implements metrics.Detector.
+func (f *IForest) Flag(keys []int) bool {
+	if len(f.trees) == 0 {
+		return false
+	}
+	return f.score(CountVector(keys, f.vocab)) > f.threshold+1e-12
+}

@@ -1,0 +1,141 @@
+package baselines
+
+import "math"
+
+// Mazzawi is the behavioral-patterning detector of Mazzawi et al. [52]:
+// each session is profiled by statistical features of its activity
+// volume and statement mix, and a session is anomalous when any feature
+// deviates by more than Threshold robust standard deviations from the
+// user population's normal profile. As the paper observes (§6.2), this
+// point-anomaly view yields low FPR but misses stealthy in-pattern
+// anomalies (high FNR on A2).
+type Mazzawi struct {
+	// Threshold is the z-score cut (default 3).
+	Threshold float64
+	// RareQuantile marks keys below this training-frequency quantile as
+	// rare (default 0.1).
+	RareQuantile float64
+
+	vocab    int
+	keyFreq  []float64 // relative frequency per key
+	rareKey  []bool
+	mean     []float64
+	std      []float64
+	nFeature int
+}
+
+// NewMazzawi returns a detector with the paper-tuned defaults.
+func NewMazzawi() *Mazzawi { return &Mazzawi{Threshold: 3, RareQuantile: 0.1} }
+
+// Name implements metrics.Detector.
+func (m *Mazzawi) Name() string { return "Mazzawi" }
+
+// features: [length, distinct keys, max single-key count, rare-key
+// fraction, unknown-key count, repetition ratio].
+func (m *Mazzawi) features(keys []int) []float64 {
+	counts := map[int]int{}
+	rare, unknown := 0, 0
+	maxCount := 0
+	for _, k := range keys {
+		counts[k]++
+		if counts[k] > maxCount {
+			maxCount = counts[k]
+		}
+		switch {
+		case k <= 0 || k > m.vocab:
+			unknown++
+		case m.rareKey[k]:
+			rare++
+		}
+	}
+	n := float64(len(keys))
+	if n == 0 {
+		n = 1
+	}
+	return []float64{
+		float64(len(keys)),
+		float64(len(counts)),
+		float64(maxCount),
+		float64(rare) / n,
+		float64(unknown),
+		1 - float64(len(counts))/n,
+	}
+}
+
+// Fit implements metrics.Detector.
+func (m *Mazzawi) Fit(train [][]int) {
+	m.vocab = MaxKey(train)
+	total := 0
+	freq := make([]float64, m.vocab+1)
+	for _, s := range train {
+		for _, k := range s {
+			if k > 0 && k <= m.vocab {
+				freq[k]++
+			}
+			total++
+		}
+	}
+	if total > 0 {
+		for k := range freq {
+			freq[k] /= float64(total)
+		}
+	}
+	m.keyFreq = freq
+	// Rare keys: nonzero frequencies below the RareQuantile quantile.
+	var nonzero []float64
+	for k := 1; k <= m.vocab; k++ {
+		if freq[k] > 0 {
+			nonzero = append(nonzero, freq[k])
+		}
+	}
+	cut := quantile(nonzero, m.RareQuantile)
+	m.rareKey = make([]bool, m.vocab+1)
+	for k := 1; k <= m.vocab; k++ {
+		m.rareKey[k] = freq[k] > 0 && freq[k] <= cut
+	}
+	// Feature moments over the training population.
+	var fs [][]float64
+	for _, s := range train {
+		fs = append(fs, m.features(s))
+	}
+	if len(fs) == 0 {
+		return
+	}
+	m.nFeature = len(fs[0])
+	m.mean = make([]float64, m.nFeature)
+	m.std = make([]float64, m.nFeature)
+	for _, f := range fs {
+		for i, v := range f {
+			m.mean[i] += v
+		}
+	}
+	for i := range m.mean {
+		m.mean[i] /= float64(len(fs))
+	}
+	for _, f := range fs {
+		for i, v := range f {
+			d := v - m.mean[i]
+			m.std[i] += d * d
+		}
+	}
+	for i := range m.std {
+		m.std[i] = math.Sqrt(m.std[i] / float64(len(fs)))
+		if m.std[i] < 1e-9 {
+			m.std[i] = 1e-9
+		}
+	}
+}
+
+// Flag implements metrics.Detector.
+func (m *Mazzawi) Flag(keys []int) bool {
+	if m.nFeature == 0 {
+		return false
+	}
+	f := m.features(keys)
+	for i, v := range f {
+		if math.Abs(v-m.mean[i])/m.std[i] > m.Threshold {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+package baselines
+
+import "math"
+
+// OneClassSVM is the kernel one-class classifier of Schölkopf et al.
+// [67], implemented as support vector data description (SVDD) with an
+// RBF kernel — for RBF kernels the two formulations are equivalent. The
+// dual quadratic program
+//
+//	min αᵀKα   s.t.  Σα = 1,  0 ≤ αᵢ ≤ 1/(ν·n)
+//
+// is solved by Frank–Wolfe with exact line search, which needs no
+// external QP solver and converges quickly at these problem sizes.
+type OneClassSVM struct {
+	// Nu bounds the fraction of training outliers (default 0.05).
+	Nu float64
+	// Gamma is the RBF width; 0 means 1/dim ("scale"-style heuristic).
+	Gamma float64
+	// Iterations of Frank–Wolfe (default 200).
+	Iterations int
+
+	vocab   int
+	support [][]float64 // training vectors with α > 0
+	alpha   []float64
+	radius2 float64 // squared SVDD radius
+	wNorm2  float64 // αᵀKα of the solution
+}
+
+// NewOneClassSVM returns a detector with library defaults.
+func NewOneClassSVM() *OneClassSVM { return &OneClassSVM{Nu: 0.05} }
+
+// Name implements metrics.Detector.
+func (m *OneClassSVM) Name() string { return "OneClassSVM" }
+
+func (m *OneClassSVM) rbf(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d2 += diff * diff
+	}
+	return math.Exp(-m.Gamma * d2)
+}
+
+// Fit implements metrics.Detector.
+func (m *OneClassSVM) Fit(train [][]int) {
+	m.vocab = MaxKey(train)
+	n := len(train)
+	if n == 0 {
+		return
+	}
+	if m.Nu <= 0 || m.Nu > 1 {
+		m.Nu = 0.05
+	}
+	if m.Iterations <= 0 {
+		m.Iterations = 200
+	}
+	xs := make([][]float64, n)
+	for i, s := range train {
+		xs[i] = CountVector(s, m.vocab)
+	}
+	if m.Gamma <= 0 {
+		m.Gamma = 1 / float64(len(xs[0]))
+	}
+	// Kernel matrix.
+	K := make([][]float64, n)
+	for i := range K {
+		K[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			k := m.rbf(xs[i], xs[j])
+			K[i][j], K[j][i] = k, k
+		}
+	}
+	cap := 1 / (m.Nu * float64(n))
+	if cap < 1.0/float64(n) {
+		cap = 1.0 / float64(n)
+	}
+	// Feasible start: uniform.
+	alpha := make([]float64, n)
+	for i := range alpha {
+		alpha[i] = 1 / float64(n)
+	}
+	kAlpha := matVec(K, alpha) // K·α maintained incrementally
+	for iter := 0; iter < m.Iterations; iter++ {
+		// Gradient of αᵀKα is 2Kα; the Frank–Wolfe vertex puts mass cap
+		// on the coordinates with the smallest gradient.
+		s := capSimplexVertex(kAlpha, cap)
+		// Exact line search on f(α + γ(s-α)) = quadratic in γ.
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = s[i] - alpha[i]
+		}
+		kd := matVec(K, d)
+		num, den := 0.0, 0.0
+		for i := range d {
+			num -= 2 * kAlpha[i] * d[i]
+			den += 2 * d[i] * kd[i]
+		}
+		if den <= 1e-15 {
+			break
+		}
+		gamma := num / den
+		if gamma <= 0 {
+			break
+		}
+		if gamma > 1 {
+			gamma = 1
+		}
+		for i := range alpha {
+			alpha[i] += gamma * d[i]
+			kAlpha[i] += gamma * kd[i]
+		}
+	}
+	// Keep support vectors, compute ‖center‖² and the radius from a
+	// margin support vector (0 < α < cap).
+	m.wNorm2 = 0
+	for i := range alpha {
+		m.wNorm2 += alpha[i] * kAlpha[i]
+	}
+	var sv [][]float64
+	var svAlpha []float64
+	for i, a := range alpha {
+		if a > 1e-10 {
+			sv = append(sv, xs[i])
+			svAlpha = append(svAlpha, a)
+		}
+	}
+	m.support, m.alpha = sv, svAlpha
+	// Radius: use the ν-quantile of training distances so roughly ν of
+	// training points fall outside — the standard OC-SVM semantics.
+	dists := make([]float64, n)
+	for i := range xs {
+		dists[i] = m.dist2(xs[i])
+	}
+	m.radius2 = quantile(dists, 1-m.Nu)
+}
+
+// dist2 is the squared distance of x to the SVDD center in feature
+// space: K(x,x) - 2Σ αᵢK(x,xᵢ) + ‖center‖², with K(x,x)=1 for RBF.
+func (m *OneClassSVM) dist2(x []float64) float64 {
+	var cross float64
+	for i, sv := range m.support {
+		cross += m.alpha[i] * m.rbf(x, sv)
+	}
+	return 1 - 2*cross + m.wNorm2
+}
+
+// Flag implements metrics.Detector.
+func (m *OneClassSVM) Flag(keys []int) bool {
+	if len(m.support) == 0 {
+		return false
+	}
+	return m.dist2(CountVector(keys, m.vocab)) > m.radius2+1e-12
+}
+
+func matVec(K [][]float64, v []float64) []float64 {
+	out := make([]float64, len(K))
+	for i, row := range K {
+		var s float64
+		for j, k := range row {
+			s += k * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// capSimplexVertex returns the capped-simplex vertex minimizing ⟨g, s⟩:
+// mass cap on coordinates in increasing gradient order until Σ = 1.
+func capSimplexVertex(grad []float64, cap float64) []float64 {
+	n := len(grad)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Selection by gradient ascending (insertion sort is fine for the
+	// sizes involved; use sort.Slice for clarity).
+	sortByGrad(order, grad)
+	s := make([]float64, n)
+	remaining := 1.0
+	for _, i := range order {
+		if remaining <= 0 {
+			break
+		}
+		m := cap
+		if m > remaining {
+			m = remaining
+		}
+		s[i] = m
+		remaining -= m
+	}
+	return s
+}

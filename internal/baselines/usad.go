@@ -1,0 +1,196 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"github.com/ucad/ucad/internal/nn"
+	"github.com/ucad/ucad/internal/tensor"
+)
+
+// USAD is the adversarially trained autoencoder of Audibert et al. [11]
+// adapted to statement-key streams: sliding windows of the session are
+// profiled as count vectors, a shared encoder feeds two decoders trained
+// in the paper's two-phase adversarial scheme, and the anomaly score is
+// α‖x−AE₁(x)‖² + β‖x−AE₂(AE₁(x))‖². A session is anomalous when any of
+// its windows scores above the calibrated training quantile.
+type USAD struct {
+	// Window is the number of operations per scored window (default 10).
+	Window int
+	// Latent and HiddenDim size the autoencoders.
+	Latent, HiddenDim int
+	// Epochs and LR control Adam training.
+	Epochs int
+	LR     float64
+	// Alpha and Beta weight the two reconstruction terms (default 0.5
+	// each).
+	Alpha, Beta float64
+	// ThresholdQ is the training-score quantile used as the anomaly
+	// threshold (default 0.98).
+	ThresholdQ float64
+	// Seed drives initialization and shuffling.
+	Seed int64
+
+	vocab     int
+	enc       *twoLayer
+	dec1      *twoLayer
+	dec2      *twoLayer
+	params    []*tensor.Param
+	threshold float64
+	scale     float64 // input normalization
+	rng       *rand.Rand
+}
+
+// NewUSAD returns a detector with the original paper's defaults.
+func NewUSAD(seed int64) *USAD {
+	return &USAD{
+		Window: 10, Latent: 8, HiddenDim: 32,
+		Epochs: 12, LR: 0.01, Alpha: 0.5, Beta: 0.5, ThresholdQ: 0.98, Seed: seed,
+	}
+}
+
+// Name implements metrics.Detector.
+func (u *USAD) Name() string { return "USAD" }
+
+// twoLayer is a Linear-ReLU-Linear block; decoders add a sigmoid so
+// reconstructions stay in the input's [0,1] range, which bounds the
+// adversarial term of phase-2 training (inputs are count vectors scaled
+// by 1/Window).
+type twoLayer struct {
+	l1, l2  *nn.Linear
+	bounded bool
+}
+
+func newTwoLayer(name string, in, hidden, out int, bounded bool, rng *rand.Rand) *twoLayer {
+	return &twoLayer{
+		l1:      nn.NewLinear(name+".1", in, hidden, rng),
+		l2:      nn.NewLinear(name+".2", hidden, out, rng),
+		bounded: bounded,
+	}
+}
+
+func (t2 *twoLayer) forward(tp *tensor.Tape, x *tensor.Node) *tensor.Node {
+	out := t2.l2.Forward(tp, tp.ReLU(t2.l1.Forward(tp, x)))
+	if t2.bounded {
+		out = tp.Sigmoid(out)
+	}
+	return out
+}
+
+func (t2 *twoLayer) params() []*tensor.Param { return nn.CollectParams(t2.l1, t2.l2) }
+
+// windowsOf slices a key sequence into count-vector windows.
+func (u *USAD) windowsOf(keys []int) [][]float64 {
+	var out [][]float64
+	step := u.Window
+	for s := 0; s < len(keys); s += step {
+		e := s + u.Window
+		if e > len(keys) {
+			e = len(keys)
+		}
+		v := CountVector(keys[s:e], u.vocab)
+		for i := range v {
+			v[i] *= u.scale
+		}
+		out = append(out, v)
+		if e == len(keys) {
+			break
+		}
+	}
+	return out
+}
+
+// Fit implements metrics.Detector.
+func (u *USAD) Fit(train [][]int) {
+	u.vocab = MaxKey(train)
+	u.rng = rand.New(rand.NewSource(u.Seed))
+	u.scale = 1 / float64(u.Window)
+	dim := u.vocab + 1
+	u.enc = newTwoLayer("usad.enc", dim, u.HiddenDim, u.Latent, false, u.rng)
+	u.dec1 = newTwoLayer("usad.dec1", u.Latent, u.HiddenDim, dim, true, u.rng)
+	u.dec2 = newTwoLayer("usad.dec2", u.Latent, u.HiddenDim, dim, true, u.rng)
+	u.params = append(append(u.enc.params(), u.dec1.params()...), u.dec2.params()...)
+
+	var xs [][]float64
+	for _, s := range train {
+		xs = append(xs, u.windowsOf(s)...)
+	}
+	if len(xs) == 0 {
+		u.enc = nil // stay untrained: Flag reports nothing
+		return
+	}
+	optAE1 := nn.NewAdam(u.LR)
+	optAE2 := nn.NewAdam(u.LR)
+	p1 := append(u.enc.params(), u.dec1.params()...)
+	p2 := append(u.enc.params(), u.dec2.params()...)
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 1; epoch <= u.Epochs; epoch++ {
+		w1 := 1 / float64(epoch)
+		w2 := 1 - w1
+		u.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, xi := range order {
+			x := xs[xi]
+			// Phase 1: train AE1 to reconstruct x and to fool AE2.
+			tp := tensor.NewTape()
+			in := tp.Const(tensor.FromSlice(1, len(x), append([]float64(nil), x...)))
+			ae1 := u.dec1.forward(tp, u.enc.forward(tp, in))
+			ae21 := u.dec2.forward(tp, u.enc.forward(tp, ae1))
+			loss1 := tp.Add(
+				tp.Scale(tp.Mean(tp.Square(tp.Sub(in, ae1))), w1),
+				tp.Scale(tp.Mean(tp.Square(tp.Sub(in, ae21))), w2))
+			tp.Backward(loss1)
+			nn.ZeroGrads(u.dec2.params()) // phase 1 updates encoder+dec1 only
+			nn.ClipGradNorm(p1, 1)
+			optAE1.Step(p1)
+
+			// Phase 2: train AE2 to reconstruct x but distinguish AE1's
+			// reconstructions (adversarial minus term).
+			tp2 := tensor.NewTape()
+			in2 := tp2.Const(tensor.FromSlice(1, len(x), append([]float64(nil), x...)))
+			ae1b := u.dec1.forward(tp2, u.enc.forward(tp2, in2))
+			ae21b := u.dec2.forward(tp2, u.enc.forward(tp2, ae1b))
+			ae2 := u.dec2.forward(tp2, u.enc.forward(tp2, in2))
+			loss2 := tp2.Sub(
+				tp2.Scale(tp2.Mean(tp2.Square(tp2.Sub(in2, ae2))), w1),
+				tp2.Scale(tp2.Mean(tp2.Square(tp2.Sub(in2, ae21b))), w2))
+			tp2.Backward(loss2)
+			nn.ZeroGrads(u.dec1.params()) // phase 2 updates encoder+dec2 only
+			// The adversarial minus-term has an unbounded incentive;
+			// clipping keeps the two-player training stable (the original
+			// relies on batch averaging for the same effect).
+			nn.ClipGradNorm(p2, 1)
+			optAE2.Step(p2)
+		}
+	}
+	scores := make([]float64, len(xs))
+	for i, x := range xs {
+		scores[i] = u.windowScore(x)
+	}
+	u.threshold = quantile(scores, u.ThresholdQ)
+}
+
+// windowScore is α‖x−AE₁‖² + β‖x−AE₂(AE₁)‖² (mean squared).
+func (u *USAD) windowScore(x []float64) float64 {
+	tp := tensor.NewTape()
+	in := tp.Const(tensor.FromSlice(1, len(x), append([]float64(nil), x...)))
+	ae1 := u.dec1.forward(tp, u.enc.forward(tp, in))
+	ae21 := u.dec2.forward(tp, u.enc.forward(tp, ae1))
+	r1 := tp.Mean(tp.Square(tp.Sub(in, ae1))).Value.Data[0]
+	r2 := tp.Mean(tp.Square(tp.Sub(in, ae21))).Value.Data[0]
+	return u.Alpha*r1 + u.Beta*r2
+}
+
+// Flag implements metrics.Detector.
+func (u *USAD) Flag(keys []int) bool {
+	if u.enc == nil {
+		return false
+	}
+	for _, w := range u.windowsOf(keys) {
+		if u.windowScore(w) > u.threshold+1e-15 {
+			return true
+		}
+	}
+	return false
+}

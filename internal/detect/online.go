@@ -1,0 +1,119 @@
+// Package detect implements the online detection stage (§5.3 and
+// Figure 5): active sessions stream through the trained detector,
+// flagged sessions queue for expert diagnosis, and verified-normal
+// sessions (including false alarms) feed the next fine-tuning round —
+// the concept-drift loop of §5.2.
+package detect
+
+import (
+	"sync"
+
+	"github.com/ucad/ucad/internal/core"
+	"github.com/ucad/ucad/internal/session"
+)
+
+// Alert is one flagged session awaiting expert review.
+type Alert struct {
+	Session *session.Session
+	// Positions are the indices of the operations that violated the
+	// top-p test (0 alone means a policy violation).
+	Positions []int
+}
+
+// Online is the streaming detection loop. It is safe for concurrent
+// Process calls; Retrain must not run concurrently with Process.
+type Online struct {
+	mu sync.Mutex
+
+	ucad *core.UCAD
+	// verified accumulates sessions confirmed normal since the last
+	// retraining round.
+	verified []*session.Session
+	pending  []*Alert
+
+	processed int
+	flagged   int
+}
+
+// NewOnline wraps a trained detector.
+func NewOnline(u *core.UCAD) *Online { return &Online{ucad: u} }
+
+// Process evaluates one active session. Normal sessions join the
+// verified pool immediately; anomalous ones return an Alert and wait in
+// the pending queue for expert review.
+func (o *Online) Process(s *session.Session) *Alert {
+	positions := o.ucad.DetectSession(s)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.processed++
+	if len(positions) == 0 {
+		o.verified = append(o.verified, s)
+		return nil
+	}
+	o.flagged++
+	a := &Alert{Session: s, Positions: positions}
+	o.pending = append(o.pending, a)
+	return a
+}
+
+// ResolveFalseAlarm records the expert verdict that an alert was
+// normal; the session joins the verified pool for the next fine-tune.
+func (o *Online) ResolveFalseAlarm(a *Alert) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.verified = append(o.verified, a.Session)
+	o.removePending(a)
+}
+
+// ResolveConfirmed records the expert verdict that an alert was a true
+// anomaly (it never enters the training pool).
+func (o *Online) ResolveConfirmed(a *Alert) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.removePending(a)
+}
+
+func (o *Online) removePending(a *Alert) {
+	for i, p := range o.pending {
+		if p == a {
+			o.pending = append(o.pending[:i], o.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// Pending returns a snapshot of unresolved alerts.
+func (o *Online) Pending() []*Alert {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]*Alert(nil), o.pending...)
+}
+
+// Stats reports processed and flagged session counts.
+func (o *Online) Stats() (processed, flagged int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.processed, o.flagged
+}
+
+// VerifiedCount reports the size of the pending fine-tune pool.
+func (o *Online) VerifiedCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.verified)
+}
+
+// Retrain fine-tunes the model on the verified pool and clears it —
+// one round of the paper's periodic training (§3). It returns the
+// number of sessions absorbed.
+func (o *Online) Retrain(epochs int) int {
+	o.mu.Lock()
+	pool := o.verified
+	o.verified = nil
+	o.mu.Unlock()
+	if len(pool) == 0 {
+		return 0
+	}
+	o.ucad.FineTune(pool, epochs)
+	return len(pool)
+}

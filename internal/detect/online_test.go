@@ -1,0 +1,112 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/ucad/ucad/internal/core"
+	"github.com/ucad/ucad/internal/workload"
+)
+
+func trainedUCAD(t *testing.T) (*core.UCAD, *workload.Generator) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Model.Hidden = 10
+	cfg.Model.Heads = 2
+	cfg.Model.Blocks = 2
+	cfg.Model.Window = 24
+	cfg.Model.TopP = 8
+	cfg.Model.Epochs = 6
+	cfg.Model.Dropout = 0
+	cfg.Model.MinContext = 3
+	cfg.SkipClean = true
+	g := workload.NewGenerator(workload.ScenarioI(), 11)
+	u, err := core.Train(cfg, g.GenerateSessions(60), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, g
+}
+
+func TestOnlineLoop(t *testing.T) {
+	u, g := trainedUCAD(t)
+	o := NewOnline(u)
+
+	var alerts []*Alert
+	normals, flagged := 0, 0
+	for i := 0; i < 10; i++ {
+		s := g.NewSession()
+		if a := o.Process(s); a != nil {
+			alerts = append(alerts, a)
+			flagged++
+		} else {
+			normals++
+		}
+	}
+	// Inject an A2 anomaly: it should usually be flagged.
+	anom := g.StealCredential(g.NewSession())
+	anomAlert := o.Process(anom)
+
+	processed, flaggedCount := o.Stats()
+	if processed != 11 {
+		t.Fatalf("processed = %d", processed)
+	}
+	if anomAlert != nil && len(anomAlert.Positions) == 0 {
+		t.Fatal("alert without positions")
+	}
+	if flaggedCount != len(o.Pending()) {
+		t.Fatalf("flagged %d but pending %d", flaggedCount, len(o.Pending()))
+	}
+
+	// Expert reviews: false alarms rejoin the training pool; the true
+	// anomaly does not.
+	before := o.VerifiedCount()
+	for _, a := range alerts {
+		o.ResolveFalseAlarm(a)
+	}
+	if anomAlert != nil {
+		o.ResolveConfirmed(anomAlert)
+	}
+	if len(o.Pending()) != 0 {
+		t.Fatalf("pending not drained: %d", len(o.Pending()))
+	}
+	if o.VerifiedCount() != before+len(alerts) {
+		t.Fatalf("verified pool = %d, want %d", o.VerifiedCount(), before+len(alerts))
+	}
+	if normals+len(alerts) != o.VerifiedCount() {
+		t.Fatalf("verified pool %d != normals %d + false alarms %d",
+			o.VerifiedCount(), normals, len(alerts))
+	}
+
+	absorbed := o.Retrain(1)
+	if absorbed != normals+len(alerts) {
+		t.Fatalf("retrain absorbed %d, want %d", absorbed, normals+len(alerts))
+	}
+	if o.VerifiedCount() != 0 {
+		t.Fatal("verified pool must clear after retrain")
+	}
+	if o.Retrain(1) != 0 {
+		t.Fatal("retrain with empty pool must be a no-op")
+	}
+}
+
+func TestOnlineConcurrentProcess(t *testing.T) {
+	u, g := trainedUCAD(t)
+	o := NewOnline(u)
+	sessions := g.GenerateSessions(12)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := w; i < len(sessions); i += 4 {
+				o.Process(sessions[i])
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	processed, _ := o.Stats()
+	if processed != 12 {
+		t.Fatalf("processed = %d, want 12", processed)
+	}
+}

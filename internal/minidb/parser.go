@@ -1,0 +1,412 @@
+// Package minidb is a small in-memory SQL engine with an audit log.
+//
+// It stands in for the production DBMS whose data-access logs the paper
+// analyses: examples and the user-study reproduction execute real SQL
+// through this engine, and UCAD consumes the audit trail it emits. The
+// dialect covers CREATE TABLE, INSERT (multi-row), SELECT, UPDATE and
+// DELETE with conjunctive WHERE clauses — the statement shapes appearing
+// in the paper's figures.
+package minidb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a cell value: string, float64 or nil.
+type Value any
+
+// CompareOp is a WHERE comparison operator.
+type CompareOp string
+
+// Supported comparison operators.
+const (
+	OpEq CompareOp = "="
+	OpNe CompareOp = "!="
+	OpLt CompareOp = "<"
+	OpLe CompareOp = "<="
+	OpGt CompareOp = ">"
+	OpGe CompareOp = ">="
+	OpIn CompareOp = "IN"
+)
+
+// Condition is one conjunct of a WHERE clause: column OP literal(s).
+type Condition struct {
+	Column string
+	Op     CompareOp
+	Args   []Value // one element except for IN
+}
+
+// Statement is a parsed SQL statement.
+type Statement struct {
+	Kind    string // CREATE, INSERT, SELECT, UPDATE, DELETE
+	Table   string
+	Columns []string  // CREATE columns / INSERT columns / SELECT projection ("*" = all)
+	Rows    [][]Value // INSERT values
+	Sets    []struct {
+		Column string
+		Value  Value
+	} // UPDATE assignments
+	Where []Condition
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+// Parse parses one SQL statement of the supported dialect.
+func Parse(sql string) (*Statement, error) {
+	p := &parser{toks: tokenize(sql)}
+	if len(p.toks) == 0 {
+		return nil, fmt.Errorf("minidb: empty statement")
+	}
+	var st *Statement
+	var err error
+	switch strings.ToUpper(p.toks[0]) {
+	case "CREATE":
+		st, err = p.parseCreate()
+	case "INSERT":
+		st, err = p.parseInsert()
+	case "SELECT":
+		st, err = p.parseSelect()
+	case "UPDATE":
+		st, err = p.parseUpdate()
+	case "DELETE":
+		st, err = p.parseDelete()
+	default:
+		return nil, fmt.Errorf("minidb: unsupported statement %q", p.toks[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.toks) && p.toks[p.pos] != ";" {
+		return nil, fmt.Errorf("minidb: trailing input at %q", p.toks[p.pos])
+	}
+	return st, nil
+}
+
+// tokenize splits SQL into tokens, keeping quoted strings intact.
+func tokenize(sql string) []string {
+	var toks []string
+	i, n := 0, len(sql)
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < n && sql[j] != quote {
+				j++
+			}
+			if j < n {
+				j++
+			}
+			toks = append(toks, sql[i:j])
+			i = j
+		case strings.ContainsRune("(),;=*", rune(c)):
+			toks = append(toks, string(c))
+			i++
+		case c == '<' || c == '>' || c == '!':
+			if i+1 < n && sql[i+1] == '=' {
+				toks = append(toks, sql[i:i+2])
+				i += 2
+			} else {
+				toks = append(toks, string(c))
+				i++
+			}
+		default:
+			j := i
+			for j < n && !strings.ContainsRune(" \t\n\r(),;=<>!*'\"", rune(sql[j])) {
+				j++
+			}
+			toks = append(toks, sql[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(word string) error {
+	if !strings.EqualFold(p.peek(), word) {
+		return fmt.Errorf("minidb: expected %q, got %q", word, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t == "" || strings.ContainsAny(t, "(),;=") {
+		return "", fmt.Errorf("minidb: expected identifier, got %q", t)
+	}
+	return t, nil
+}
+
+// literal parses a quoted string or number into a Value.
+func (p *parser) literal() (Value, error) {
+	t := p.next()
+	if t == "" {
+		return nil, fmt.Errorf("minidb: expected literal, got end of input")
+	}
+	if t[0] == '\'' || t[0] == '"' {
+		return strings.Trim(t, string(t[0])), nil
+	}
+	if strings.EqualFold(t, "NULL") {
+		return nil, nil
+	}
+	f, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return nil, fmt.Errorf("minidb: invalid literal %q", t)
+	}
+	return f, nil
+}
+
+func (p *parser) parseCreate() (*Statement, error) {
+	p.pos++ // CREATE
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	st := &Statement{Kind: "CREATE", Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Columns = append(st.Columns, col)
+		// Skip an optional type annotation and modifiers up to , or ).
+		for p.peek() != "," && p.peek() != ")" && p.peek() != "" {
+			p.pos++
+		}
+		if p.peek() == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return st, p.expect(")")
+}
+
+func (p *parser) parseInsert() (*Statement, error) {
+	p.pos++ // INSERT
+	if err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &Statement{Kind: "INSERT", Table: table}
+	if p.peek() == "(" {
+		p.pos++
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+			if p.peek() == "," {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var row []Value
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.peek() == "," {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.peek() == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelect() (*Statement, error) {
+	p.pos++ // SELECT
+	st := &Statement{Kind: "SELECT"}
+	for {
+		if p.peek() == "*" {
+			p.pos++
+			st.Columns = append(st.Columns, "*")
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+		}
+		if p.peek() == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = table
+	return st, p.parseWhere(st)
+}
+
+func (p *parser) parseUpdate() (*Statement, error) {
+	p.pos++ // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &Statement{Kind: "UPDATE", Table: table}
+	if err := p.expect("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, struct {
+			Column string
+			Value  Value
+		}{col, v})
+		if p.peek() == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return st, p.parseWhere(st)
+}
+
+func (p *parser) parseDelete() (*Statement, error) {
+	p.pos++ // DELETE
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &Statement{Kind: "DELETE", Table: table}
+	return st, p.parseWhere(st)
+}
+
+// parseWhere parses an optional "WHERE cond AND cond…" suffix.
+func (p *parser) parseWhere(st *Statement) error {
+	if !strings.EqualFold(p.peek(), "WHERE") {
+		return nil
+	}
+	p.pos++
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return err
+		}
+		opTok := strings.ToUpper(p.next())
+		var cond Condition
+		cond.Column = col
+		switch opTok {
+		case "=", "!=", "<", "<=", ">", ">=":
+			if opTok == "<" && p.peek() == ">" { // "<>" split by tokenizer
+				p.pos++
+				opTok = "!="
+			}
+			cond.Op = CompareOp(opTok)
+			v, err := p.literal()
+			if err != nil {
+				return err
+			}
+			cond.Args = []Value{v}
+		case "IN":
+			cond.Op = OpIn
+			if err := p.expect("("); err != nil {
+				return err
+			}
+			for {
+				v, err := p.literal()
+				if err != nil {
+					return err
+				}
+				cond.Args = append(cond.Args, v)
+				if p.peek() == "," {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if err := p.expect(")"); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("minidb: unsupported operator %q", opTok)
+		}
+		st.Where = append(st.Where, cond)
+		if strings.EqualFold(p.peek(), "AND") {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return nil
+}

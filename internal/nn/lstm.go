@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"math/rand"
+
+	"github.com/ucad/ucad/internal/tensor"
+)
+
+// LSTMCell is a standard long short-term memory cell. It exists to
+// implement the DeepLog baseline faithfully (DeepLog stacks LSTM layers
+// over log-key sequences and predicts the next key).
+type LSTMCell struct {
+	// Wx maps input (in) to the four gates (4*hidden); Wh maps the
+	// previous hidden state; B is the gate bias. Gate order: i, f, g, o.
+	Wx, Wh, B *tensor.Param
+	Hidden    int
+}
+
+// NewLSTMCell creates a cell with the given input and hidden sizes. The
+// forget-gate bias is initialized to 1, the usual trick for stable
+// early training.
+func NewLSTMCell(name string, in, hidden int, rng *rand.Rand) *LSTMCell {
+	b := tensor.NewMatrix(1, 4*hidden)
+	for i := hidden; i < 2*hidden; i++ {
+		b.Data[i] = 1
+	}
+	return &LSTMCell{
+		Wx:     tensor.NewParam(name+".Wx", tensor.NewXavier(in, 4*hidden, rng)),
+		Wh:     tensor.NewParam(name+".Wh", tensor.NewXavier(hidden, 4*hidden, rng)),
+		B:      tensor.NewParam(name+".B", b),
+		Hidden: hidden,
+	}
+}
+
+// Step advances the cell one timestep. x is 1 x in; h and c are 1 x
+// hidden (pass nil for the zero initial state). It returns the new
+// hidden and cell states.
+func (l *LSTMCell) Step(tp *tensor.Tape, x, h, c *tensor.Node) (hNew, cNew *tensor.Node) {
+	if h == nil {
+		h = tp.Const(tensor.NewMatrix(1, l.Hidden))
+	}
+	if c == nil {
+		c = tp.Const(tensor.NewMatrix(1, l.Hidden))
+	}
+	gates := tp.AddRowVec(
+		tp.Add(tp.MatMul(x, tp.Param(l.Wx)), tp.MatMul(h, tp.Param(l.Wh))),
+		tp.Param(l.B))
+	hd := l.Hidden
+	i := tp.Sigmoid(tp.SliceCols(gates, 0, hd))
+	f := tp.Sigmoid(tp.SliceCols(gates, hd, 2*hd))
+	g := tp.Tanh(tp.SliceCols(gates, 2*hd, 3*hd))
+	o := tp.Sigmoid(tp.SliceCols(gates, 3*hd, 4*hd))
+	cNew = tp.Add(tp.Mul(f, c), tp.Mul(i, g))
+	hNew = tp.Mul(o, tp.Tanh(cNew))
+	return hNew, cNew
+}
+
+// Params implements Module.
+func (l *LSTMCell) Params() []*tensor.Param { return []*tensor.Param{l.Wx, l.Wh, l.B} }

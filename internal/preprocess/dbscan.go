@@ -1,0 +1,60 @@
+package preprocess
+
+// Noise is the cluster label DBSCAN assigns to outlier points.
+const Noise = -1
+
+// DBSCAN clusters n items given a pairwise distance function, a
+// neighborhood radius eps and the core-point density threshold minPts
+// (which counts the point itself, as in the original algorithm). It
+// returns a label per item: 0..k-1 for clusters, Noise for outliers.
+func DBSCAN(n int, dist func(i, j int) float64, eps float64, minPts int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -2 // unvisited
+	}
+	// Precompute neighborhoods; O(n²) distance evaluations.
+	neighbors := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var d float64
+			if i != j {
+				d = dist(i, j)
+			}
+			if d <= eps {
+				neighbors[i] = append(neighbors[i], j)
+				if i != j {
+					neighbors[j] = append(neighbors[j], i)
+				}
+			}
+		}
+	}
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != -2 {
+			continue
+		}
+		if len(neighbors[i]) < minPts {
+			labels[i] = Noise
+			continue
+		}
+		// Expand a new cluster from core point i.
+		labels[i] = cluster
+		queue := append([]int(nil), neighbors[i]...)
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			if labels[q] == Noise {
+				labels[q] = cluster // border point
+			}
+			if labels[q] != -2 {
+				continue
+			}
+			labels[q] = cluster
+			if len(neighbors[q]) >= minPts {
+				queue = append(queue, neighbors[q]...)
+			}
+		}
+		cluster++
+	}
+	return labels
+}

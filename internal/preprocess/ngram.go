@@ -1,0 +1,57 @@
+package preprocess
+
+// NGramSet profiles a key sequence as the set of its n-grams (§5.1).
+// Each gram is encoded as a comparable string of the n key values.
+func NGramSet(keys []int, n int) map[string]struct{} {
+	set := make(map[string]struct{})
+	if n <= 0 {
+		return set
+	}
+	if len(keys) < n {
+		if len(keys) > 0 {
+			set[encodeGram(keys)] = struct{}{}
+		}
+		return set
+	}
+	for i := 0; i+n <= len(keys); i++ {
+		set[encodeGram(keys[i:i+n])] = struct{}{}
+	}
+	return set
+}
+
+// encodeGram packs keys into a string using variable-length base-128
+// encoding, collision-free for non-negative keys.
+func encodeGram(keys []int) string {
+	buf := make([]byte, 0, len(keys)*2)
+	for _, k := range keys {
+		u := uint(k)
+		for u >= 0x80 {
+			buf = append(buf, byte(u)|0x80)
+			u >>= 7
+		}
+		buf = append(buf, byte(u))
+	}
+	return string(buf)
+}
+
+// Jaccard returns |a∩b| / |a∪b|; two empty sets have similarity 1.
+func Jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for g := range small {
+		if _, ok := large[g]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// JaccardDistance is 1 - Jaccard, the metric DBSCAN clusters on.
+func JaccardDistance(a, b map[string]struct{}) float64 { return 1 - Jaccard(a, b) }

@@ -1,0 +1,157 @@
+// Package preprocess implements the paper's data preprocessing module
+// (§5.1): attribute-based access-control filtering of known attack
+// patterns, n-gram session profiling with Jaccard similarity, DBSCAN
+// clustering, pattern balancing and short-session removal.
+package preprocess
+
+import (
+	"time"
+
+	"github.com/ucad/ucad/internal/session"
+)
+
+// Effect is the outcome a policy rule assigns to matching sessions.
+type Effect int
+
+const (
+	// Allow marks a rule that grants access to matching operations.
+	Allow Effect = iota
+	// Deny marks a rule whose match filters the session out.
+	Deny
+)
+
+// Rule is one attribute-based access-control rule. Zero-valued fields
+// are wildcards. The attribute set follows the paper: user identity,
+// access address, access time, target table and the interval between
+// consecutive operations.
+type Rule struct {
+	Name   string
+	Effect Effect
+
+	// Users, Addrs and Tables are whitelists of acceptable attribute
+	// values (empty = any).
+	Users  []string
+	Addrs  []string
+	Tables []string
+
+	// HourFrom/HourTo restrict the permitted hour-of-day window
+	// [HourFrom, HourTo); both zero means any time. Windows may wrap
+	// midnight (HourFrom > HourTo).
+	HourFrom, HourTo int
+
+	// GapBelow, when positive, matches sessions containing two
+	// consecutive operations closer together than this duration — the
+	// "interval between two consecutive operations" attribute used to
+	// catch machine-speed access.
+	GapBelow time.Duration
+}
+
+// matchValue reports whether v is acceptable under whitelist ws.
+func matchValue(ws []string, v string) bool {
+	if len(ws) == 0 {
+		return true
+	}
+	for _, w := range ws {
+		if w == v || w == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Rule) matchHour(t time.Time) bool {
+	if r.HourFrom == 0 && r.HourTo == 0 {
+		return true
+	}
+	h := t.Hour()
+	if r.HourFrom <= r.HourTo {
+		return h >= r.HourFrom && h < r.HourTo
+	}
+	return h >= r.HourFrom || h < r.HourTo // wraps midnight
+}
+
+// matchOp reports whether one operation satisfies the rule's per-op
+// attributes.
+func (r *Rule) matchOp(s *session.Session, op *session.Operation) bool {
+	return matchValue(r.Users, s.User) &&
+		matchValue(r.Addrs, s.Addr) &&
+		matchValue(r.Tables, op.Table()) &&
+		r.matchHour(op.Time)
+}
+
+// matchGap reports whether the session violates the GapBelow constraint.
+func (r *Rule) matchGap(s *session.Session) bool {
+	if r.GapBelow <= 0 {
+		return false
+	}
+	for i := 1; i < len(s.Ops); i++ {
+		if s.Ops[i].Time.Sub(s.Ops[i-1].Time) < r.GapBelow {
+			return true
+		}
+	}
+	return false
+}
+
+// Policy is an ordered set of rules with paper semantics: a session is
+// filtered out when it matches any deny rule or, if allow rules exist,
+// when any of its operations is not covered by an allow rule.
+type Policy struct {
+	Rules []Rule
+}
+
+// Evaluate reports whether the session passes the policy; when it does
+// not, the name of the decisive rule (or "uncovered-operation") is
+// returned.
+func (p *Policy) Evaluate(s *session.Session) (ok bool, reason string) {
+	hasAllow := false
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.Effect == Allow {
+			hasAllow = true
+			continue
+		}
+		// Deny: any op matching the rule's attributes, or a gap
+		// violation, filters the session.
+		if r.GapBelow > 0 && matchValue(r.Users, s.User) && matchValue(r.Addrs, s.Addr) && r.matchGap(s) {
+			return false, r.Name
+		}
+		for j := range s.Ops {
+			if r.GapBelow > 0 {
+				continue
+			}
+			if r.matchOp(s, &s.Ops[j]) {
+				return false, r.Name
+			}
+		}
+	}
+	if !hasAllow {
+		return true, ""
+	}
+	for j := range s.Ops {
+		covered := false
+		for i := range p.Rules {
+			r := &p.Rules[i]
+			if r.Effect == Allow && r.GapBelow == 0 && r.matchOp(s, &s.Ops[j]) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false, "uncovered-operation"
+		}
+	}
+	return true, ""
+}
+
+// Filter partitions sessions into those passing the policy and those
+// filtered out.
+func (p *Policy) Filter(sessions []*session.Session) (kept, dropped []*session.Session) {
+	for _, s := range sessions {
+		if ok, _ := p.Evaluate(s); ok {
+			kept = append(kept, s)
+		} else {
+			dropped = append(dropped, s)
+		}
+	}
+	return kept, dropped
+}

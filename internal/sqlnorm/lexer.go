@@ -1,0 +1,150 @@
+// Package sqlnorm implements the paper's operation tokenization (§5.1):
+// every SQL statement is abstracted by replacing each literal with a
+// numbered placeholder ($1, $2, …) and mapped to a unique integer
+// statement key. Unlike longest-common-subsequence log parsers, the
+// abstraction preserves every non-literal token, so statements that
+// differ in a single column name receive distinct keys — the property
+// the paper relies on to separate "delete … where normal_mac=$1" from
+// "delete … where abnormal_mac=$1".
+package sqlnorm
+
+import (
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokWord        tokenKind = iota // identifiers and keywords
+	tokNumber                       // numeric literal
+	tokString                       // quoted string literal
+	tokSymbol                       // operators and punctuation
+	tokPlaceholder                  // pre-existing ? or $n placeholder
+)
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+// lex splits a SQL statement into tokens, stripping comments. It is
+// deliberately forgiving: malformed trailing quotes are consumed to the
+// end of input rather than rejected, since audit logs may truncate.
+func lex(sql string) []token {
+	var toks []token
+	i := 0
+	n := len(sql)
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && sql[i+1] == '-': // -- line comment
+			for i < n && sql[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && sql[i+1] == '*': // /* block comment */
+			i += 2
+			for i+1 < n && !(sql[i] == '*' && sql[i+1] == '/') {
+				i++
+			}
+			i += 2
+			if i > n {
+				i = n
+			}
+		case c == '\'' || c == '"', c == '`':
+			quote := c
+			j := i + 1
+			for j < n {
+				if sql[j] == quote {
+					if j+1 < n && sql[j+1] == quote { // doubled-quote escape
+						j += 2
+						continue
+					}
+					break
+				}
+				j++
+			}
+			if j < n {
+				j++
+			}
+			kind := tokString
+			if quote == '`' { // backquoted identifier, not a literal
+				kind = tokWord
+			}
+			toks = append(toks, token{kind, sql[i:j]})
+			i = j
+		case c >= '0' && c <= '9', c == '.' && i+1 < n && sql[i+1] >= '0' && sql[i+1] <= '9':
+			j := i
+			seenDot, seenExp := false, false
+			for j < n {
+				d := sql[j]
+				if d >= '0' && d <= '9' {
+					j++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					j++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && j > i {
+					seenExp = true
+					j++
+					if j < n && (sql[j] == '+' || sql[j] == '-') {
+						j++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tokNumber, sql[i:j]})
+			i = j
+		case c == '?':
+			toks = append(toks, token{tokPlaceholder, "?"})
+			i++
+		case c == '$':
+			j := i + 1
+			for j < n && sql[j] >= '0' && sql[j] <= '9' {
+				j++
+			}
+			if j > i+1 {
+				toks = append(toks, token{tokPlaceholder, sql[i:j]})
+				i = j
+			} else {
+				toks = append(toks, token{tokSymbol, "$"})
+				i++
+			}
+		case isWordStart(rune(c)):
+			j := i
+			for j < n && isWordPart(rune(sql[j])) {
+				j++
+			}
+			toks = append(toks, token{tokWord, sql[i:j]})
+			i = j
+		default:
+			// Multi-char operators worth keeping intact.
+			for _, op := range []string{"<=", ">=", "<>", "!=", "||"} {
+				if strings.HasPrefix(sql[i:], op) {
+					toks = append(toks, token{tokSymbol, op})
+					i += len(op)
+					goto next
+				}
+			}
+			toks = append(toks, token{tokSymbol, string(c)})
+			i++
+		next:
+		}
+	}
+	return toks
+}
+
+func isWordStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isWordPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,91 @@
+package transdas
+
+import (
+	"math"
+	"sort"
+
+	"github.com/ucad/ucad/internal/tensor"
+)
+
+// ScoreNext feeds the (up to L most recent) preceding keys through the
+// model and returns sim[k] = sigmoid(O_last · M(k)) for every statement
+// key (Eq. 10); sim[0] (the k0 slot) is always 0. The returned slice has
+// cfg.Vocab entries.
+func (m *Model) ScoreNext(preceding []int) []float64 {
+	if len(preceding) > m.cfg.Window {
+		preceding = preceding[len(preceding)-m.cfg.Window:]
+	}
+	tp := tensor.NewTape()
+	out := m.forward(tp, preceding, false)
+	last := out.Value.Row(out.Value.Rows - 1)
+
+	table := m.emb.Table.Value
+	sims := make([]float64, m.cfg.Vocab)
+	for k := 1; k < m.cfg.Vocab; k++ {
+		row := table.Row(k)
+		var dot float64
+		for j, v := range last {
+			dot += v * row[j]
+		}
+		sims[k] = 1 / (1 + math.Exp(-dot))
+	}
+	return sims
+}
+
+// RankOf returns the 1-based similarity rank of key among all keys given
+// the preceding context (rank 1 = most similar to the predicted intent).
+// A PadKey or out-of-vocabulary key ranks last (Vocab).
+func (m *Model) RankOf(preceding []int, key int) int {
+	sims := m.ScoreNext(preceding)
+	if key <= 0 || key >= len(sims) {
+		return len(sims)
+	}
+	target := sims[key]
+	rank := 1
+	for k := 1; k < len(sims); k++ {
+		if k != key && sims[k] > target {
+			rank++
+		}
+	}
+	return rank
+}
+
+// TopKeys returns the p statement keys most similar to the predicted
+// contextual intent, in descending similarity order.
+func (m *Model) TopKeys(preceding []int, p int) []int {
+	sims := m.ScoreNext(preceding)
+	keys := make([]int, 0, len(sims)-1)
+	for k := 1; k < len(sims); k++ {
+		keys = append(keys, k)
+	}
+	sort.SliceStable(keys, func(i, j int) bool { return sims[keys[i]] > sims[keys[j]] })
+	if p > len(keys) {
+		p = len(keys)
+	}
+	return keys[:p]
+}
+
+// DetectSession applies the top-p strategy (§5.3) to every operation of
+// a session that has at least MinContext preceding operations. It
+// returns the indices of operations whose key does not rank within the
+// top p (anomalies). Unknown statements (PadKey) are always anomalous.
+func (m *Model) DetectSession(keys []int) []int {
+	var anomalies []int
+	for t := m.cfg.MinContext; t < len(keys); t++ {
+		if m.RankOf(keys[:t], keys[t]) > m.cfg.TopP {
+			anomalies = append(anomalies, t)
+		}
+	}
+	return anomalies
+}
+
+// IsAnomalous reports whether any operation in the session fails the
+// top-p test — the session-level flag used for the paper's metrics.
+func (m *Model) IsAnomalous(keys []int) bool {
+	for t := m.cfg.MinContext; t < len(keys); t++ {
+		if m.RankOf(keys[:t], keys[t]) > m.cfg.TopP {
+			return true
+		}
+	}
+	return false
+}

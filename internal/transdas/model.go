@@ -1,0 +1,124 @@
+package transdas
+
+import (
+	"math/rand"
+
+	"github.com/ucad/ucad/internal/nn"
+	"github.com/ucad/ucad/internal/tensor"
+)
+
+// block is one attention block (Fig. 3b): masked multi-head attention
+// and a point-wise feed-forward layer, each wrapped in Eq. 5's
+// residual + dropout + layer-norm regularization.
+type block struct {
+	att      *nn.MultiHeadAttention
+	ln1, ln2 *nn.LayerNorm
+	ffn      *nn.FeedForward
+}
+
+func (b *block) forward(tp *tensor.Tape, x *tensor.Node, dropout float64, train bool, rng *rand.Rand) *tensor.Node {
+	x = nn.Residual(tp, b.ln1, x, b.att.Forward(tp, x), dropout, train, rng)
+	x = nn.Residual(tp, b.ln2, x, b.ffn.Forward(tp, x), dropout, train, rng)
+	return x
+}
+
+func (b *block) params() []*tensor.Param {
+	return nn.CollectParams(b.att, b.ln1, b.ln2, b.ffn)
+}
+
+// Model is a Trans-DAS instance.
+type Model struct {
+	cfg    Config
+	emb    *nn.Embedding
+	pos    *tensor.Param // nil unless cfg.Positional
+	blocks []*block
+	params []*tensor.Param
+	rng    *rand.Rand
+}
+
+// New builds a model from the configuration. It panics on an invalid
+// configuration; call cfg.Validate first when the values are untrusted.
+func New(cfg Config) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{
+		cfg: cfg,
+		emb: nn.NewEmbedding("transdas.emb", cfg.Vocab, cfg.Hidden, rng),
+		rng: rng,
+	}
+	if cfg.Positional {
+		m.pos = tensor.NewParam("transdas.pos", tensor.NewRandN(cfg.Window, cfg.Hidden, 0.1, rng))
+	}
+	for i := 0; i < cfg.Blocks; i++ {
+		name := "transdas.block" + itoa(i)
+		m.blocks = append(m.blocks, &block{
+			att: nn.NewMultiHeadAttention(name+".att", cfg.Hidden, cfg.Heads, cfg.Mask, rng),
+			ln1: nn.NewLayerNorm(name+".ln1", cfg.Hidden),
+			ln2: nn.NewLayerNorm(name+".ln2", cfg.Hidden),
+			ffn: nn.NewFeedForward(name+".ffn", cfg.Hidden, cfg.Hidden, rng),
+		})
+	}
+	m.params = m.emb.Params()
+	if m.pos != nil {
+		m.params = append(m.params, m.pos)
+	}
+	for _, b := range m.blocks {
+		m.params = append(m.params, b.params()...)
+	}
+	return m
+}
+
+// Config returns a copy of the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Params returns the trainable parameters (implements nn.Module).
+func (m *Model) Params() []*tensor.Param { return m.params }
+
+// forward runs the stacked attention blocks over a key window of length
+// ≤ cfg.Window and returns the L x h output O^(B) (Eqs. 8–9).
+func (m *Model) forward(tp *tensor.Tape, keys []int, train bool) *tensor.Node {
+	x := m.emb.Lookup(tp, keys)
+	if m.pos != nil {
+		// Learnable position embedding for the ablation variant; the
+		// first len(keys) rows align with the window positions.
+		p := tp.SliceRows(tp.Param(m.pos), 0, len(keys))
+		x = tp.Add(x, p)
+	}
+	for _, b := range m.blocks {
+		x = b.forward(tp, x, m.cfg.Dropout, train, m.rng)
+	}
+	return x
+}
+
+// AttentionWeights runs a forward pass over keys and returns the
+// post-softmax attention weights of attention block blockIdx, one
+// len(keys) x len(keys) matrix per head. This reproduces the paper's
+// Figure 6 introspection. It must not run concurrently with other
+// uses of the model (it temporarily enables weight capture).
+func (m *Model) AttentionWeights(keys []int, blockIdx int) []*tensor.Matrix {
+	if blockIdx < 0 || blockIdx >= len(m.blocks) {
+		return nil
+	}
+	att := m.blocks[blockIdx].att
+	att.Capture = true
+	defer func() { att.Capture = false }()
+	tp := tensor.NewTape()
+	m.forward(tp, keys, false)
+	return att.LastWeights()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

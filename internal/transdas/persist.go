@@ -1,0 +1,33 @@
+package transdas
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/ucad/ucad/internal/nn"
+)
+
+// Save serializes the configuration and all trained parameters.
+func (m *Model) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(m.cfg); err != nil {
+		return fmt.Errorf("transdas: encode config: %w", err)
+	}
+	return nn.SaveParams(w, m.params)
+}
+
+// Load reconstructs a model saved by Save.
+func Load(r io.Reader) (*Model, error) {
+	var cfg Config
+	if err := gob.NewDecoder(r).Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("transdas: decode config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := New(cfg)
+	if err := nn.LoadParams(r, m.params); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,217 @@
+package transdas
+
+import (
+	"github.com/ucad/ucad/internal/nn"
+	"github.com/ucad/ucad/internal/tensor"
+)
+
+// window is one training example extracted by the sliding window
+// (§5.2): keys are the inputs, targets the forward-shifted desired
+// outputs (-1 marks positions with no target).
+type window struct {
+	keys    []int
+	targets []int
+	// sessionKeys is the set of keys appearing in the source session;
+	// negative samples are drawn from its complement (§5.2's negative
+	// sampling rule).
+	sessionKeys map[int]bool
+}
+
+// extractWindows slices a session's key sequence into training windows:
+// for the window ending at position t, the input is (x_{t-L+1}, …, x_t)
+// and the desired output its forward shift (x_{t-L+2}, …, x_{t+1})
+// (§5.2). The window end slides over every transition (step = stride),
+// so each next-operation prediction is trained in the same
+// pure-history configuration that online detection reads from the
+// final output position. Early windows are shorter than L.
+func extractWindows(keys []int, L, stride int) []window {
+	if len(keys) < 2 {
+		return nil
+	}
+	set := make(map[int]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	var out []window
+	for t := 0; t < len(keys)-1; t += stride {
+		start := t - L + 1
+		if start < 0 {
+			start = 0
+		}
+		in := keys[start : t+1]
+		targets := make([]int, len(in))
+		for j := range in {
+			targets[j] = keys[start+j+1]
+		}
+		out = append(out, window{keys: in, targets: targets, sessionKeys: set})
+	}
+	return out
+}
+
+// sampleNegatives draws, for each position, a key that never appears in
+// the session (falling back to any non-target key when the session
+// covers nearly the whole vocabulary).
+func (m *Model) sampleNegatives(w window) []int {
+	neg := make([]int, len(w.targets))
+	vocab := m.cfg.Vocab
+	for i, tgt := range w.targets {
+		if tgt < 0 {
+			neg[i] = -1
+			continue
+		}
+		neg[i] = -1
+		for attempt := 0; attempt < 20; attempt++ {
+			k := 1 + m.rng.Intn(vocab-1)
+			if !w.sessionKeys[k] {
+				neg[i] = k
+				break
+			}
+		}
+		if neg[i] < 0 { // dense session: any key except the target
+			for attempt := 0; attempt < 20; attempt++ {
+				k := 1 + m.rng.Intn(vocab-1)
+				if k != tgt {
+					neg[i] = k
+					break
+				}
+			}
+		}
+	}
+	return neg
+}
+
+// windowLoss builds Eq. 11 for one window on the tape:
+//
+//	Σ_i max(z_i^- - z_i^+ + g, 0) - log(z_i^+)
+//
+// averaged over valid positions. z_i^± = sigmoid(O_i · M(x_±)) (Eq. 10).
+// The ‖θ‖₂ term is applied as decoupled weight decay in the SGD step.
+func (m *Model) windowLoss(tp *tensor.Tape, w window, train bool) (*tensor.Node, int) {
+	out := m.forward(tp, w.keys, train)
+	neg := m.sampleNegatives(w)
+
+	valid := 0
+	maskData := make([]float64, len(w.targets))
+	for i, tgt := range w.targets {
+		if tgt > 0 { // skip no-target and PadKey targets
+			maskData[i] = 1
+			valid++
+		}
+	}
+	if valid == 0 {
+		return nil, 0
+	}
+	mask := tp.Const(tensor.FromSlice(len(w.targets), 1, maskData))
+
+	table := tp.Param(m.emb.Table)
+	posEmb := tp.GatherRows(table, clampIdx(w.targets, m.cfg.Vocab))
+	zpos := tp.Sigmoid(tp.RowDot(out, posEmb))
+
+	ce := tp.Scale(tp.Log(zpos), -1)
+	perPos := ce
+	if m.cfg.Objective == ObjectiveTripletCE {
+		negRounds := m.cfg.NegSamples
+		if negRounds <= 0 {
+			negRounds = 1
+		}
+		for r := 0; r < negRounds; r++ {
+			if r > 0 {
+				neg = m.sampleNegatives(w)
+			}
+			negEmb := tp.GatherRows(table, clampIdx(neg, m.cfg.Vocab))
+			zneg := tp.Sigmoid(tp.RowDot(out, negEmb))
+			hinge := tp.ReLU(tp.AddScalar(tp.Sub(zneg, zpos), m.cfg.Margin))
+			perPos = tp.Add(perPos, tp.Scale(hinge, 1/float64(negRounds)))
+		}
+	}
+	loss := tp.Scale(tp.Sum(tp.Mul(perPos, mask)), 1/float64(valid))
+	return loss, valid
+}
+
+// clampIdx maps invalid or padding keys to -1 so GatherRows yields a
+// zero (gradient-free) row for them.
+func clampIdx(keys []int, vocab int) []int {
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		if k <= 0 || k >= vocab {
+			out[i] = -1
+		} else {
+			out[i] = k
+		}
+	}
+	return out
+}
+
+// TrainResult summarizes one training run.
+type TrainResult struct {
+	// EpochLoss is the mean per-position loss of each epoch.
+	EpochLoss []float64
+	// Windows is the number of training windows per epoch.
+	Windows int
+}
+
+// Train fits the model on normal sessions (each a statement-key
+// sequence) for cfg.Epochs epochs of SGD, shuffling windows each epoch.
+// progress, if non-nil, is called after every epoch.
+func (m *Model) Train(sessions [][]int, progress func(epoch int, loss float64)) TrainResult {
+	return m.train(sessions, m.cfg.Epochs, m.cfg.LR, progress)
+}
+
+// FineTune continues training on newly verified normal sessions at half
+// the base learning rate — the paper's concept-drift strategy (§5.2):
+// the model keeps its historical knowledge and absorbs the new normal
+// patterns without retraining from scratch.
+func (m *Model) FineTune(sessions [][]int, epochs int) TrainResult {
+	return m.train(sessions, epochs, m.cfg.LR*0.5, nil)
+}
+
+func (m *Model) train(sessions [][]int, epochs int, lr float64, progress func(int, float64)) TrainResult {
+	var windows []window
+	for _, s := range sessions {
+		windows = append(windows, extractWindows(s, m.cfg.Window, m.cfg.stride())...)
+	}
+	res := TrainResult{Windows: len(windows)}
+	if len(windows) == 0 {
+		return res
+	}
+	opt := nn.NewSGD(lr, m.cfg.Momentum)
+	order := make([]int, len(windows))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < epochs; epoch++ {
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		var count int
+		for _, wi := range order {
+			tp := tensor.NewTape()
+			loss, valid := m.windowLoss(tp, windows[wi], true)
+			if loss == nil {
+				continue
+			}
+			tp.Backward(loss)
+			if m.cfg.WeightDecay > 0 {
+				for _, p := range m.params {
+					for i, v := range p.Value.Data {
+						p.Grad.Data[i] += m.cfg.WeightDecay * v
+					}
+				}
+			}
+			if m.cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(m.params, m.cfg.ClipNorm)
+			}
+			opt.Step(m.params)
+			total += loss.Value.Data[0] * float64(valid)
+			count += valid
+		}
+		mean := 0.0
+		if count > 0 {
+			mean = total / float64(count)
+		}
+		res.EpochLoss = append(res.EpochLoss, mean)
+		if progress != nil {
+			progress(epoch, mean)
+		}
+	}
+	return res
+}

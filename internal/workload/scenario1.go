@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Scenario-I: the online commenting (danmu) application of §6.1 /
+// Table 1 — 7 tables, 20 statement keys (7 select, 4 insert, 4 update,
+// 5 delete), average session length 24, insert/delete/update heavy.
+//
+// Roles mirror the user study (Figure 9a): viewers watch videos and post
+// danmu; moderators review reports and remove content.
+
+func sel(table, where string) StmtGen {
+	return func(rng *rand.Rand) string {
+		return fmt.Sprintf("SELECT * FROM %s WHERE %s = %d", table, where, rng.Intn(10000))
+	}
+}
+
+// Scenario-I statement generators (20 templates).
+var (
+	c1SelDanmu   = sel("danmu_display", "vid")
+	c1SelContent = sel("t_content", "vid")
+	c1SelUser    = sel("t_user", "uid")
+	c1SelLike    = sel("t_like", "danmuKey")
+	c1SelSession = sel("t_session", "uid")
+	c1SelStat    = sel("t_stat", "vid")
+	c1SelReport  = sel("t_report", "state")
+
+	c1InsDanmu = func(rng *rand.Rand) string {
+		return fmt.Sprintf("INSERT INTO danmu_display (vid, uid, text) VALUES (%d, %d, 'd%d')",
+			rng.Intn(10000), rng.Intn(10000), rng.Intn(1e6))
+	}
+	c1InsLike = func(rng *rand.Rand) string {
+		return fmt.Sprintf("INSERT INTO t_like (danmuKey, uid) VALUES (%d, %d)", rng.Intn(10000), rng.Intn(10000))
+	}
+	c1InsReport = func(rng *rand.Rand) string {
+		return fmt.Sprintf("INSERT INTO t_report (danmuKey, uid, reason) VALUES (%d, %d, 'r%d')",
+			rng.Intn(10000), rng.Intn(10000), rng.Intn(100))
+	}
+	c1InsSession = func(rng *rand.Rand) string {
+		return fmt.Sprintf("INSERT INTO t_session (uid, token) VALUES (%d, 'tk%d')", rng.Intn(10000), rng.Intn(1e6))
+	}
+
+	c1UpdCount = func(rng *rand.Rand) string {
+		return fmt.Sprintf("UPDATE t_content SET count = %d WHERE danmuKey = %d", rng.Intn(1000), rng.Intn(10000))
+	}
+	c1UpdStat = func(rng *rand.Rand) string {
+		return fmt.Sprintf("UPDATE t_stat SET views = %d WHERE vid = %d", rng.Intn(1e6), rng.Intn(10000))
+	}
+	c1UpdUser = func(rng *rand.Rand) string {
+		return fmt.Sprintf("UPDATE t_user SET last_seen = %d WHERE uid = %d", rng.Intn(1e9), rng.Intn(10000))
+	}
+	c1UpdReport = func(rng *rand.Rand) string {
+		return fmt.Sprintf("UPDATE t_report SET state = %d WHERE id = %d", rng.Intn(3), rng.Intn(10000))
+	}
+
+	c1DelDanmu = func(rng *rand.Rand) string {
+		return fmt.Sprintf("DELETE FROM danmu_display WHERE danmuKey = %d", rng.Intn(10000))
+	}
+	c1DelLike = func(rng *rand.Rand) string {
+		return fmt.Sprintf("DELETE FROM t_like WHERE danmuKey = %d", rng.Intn(10000))
+	}
+	c1DelReport = func(rng *rand.Rand) string {
+		return fmt.Sprintf("DELETE FROM t_report WHERE id = %d", rng.Intn(10000))
+	}
+	c1DelSession = func(rng *rand.Rand) string {
+		return fmt.Sprintf("DELETE FROM t_session WHERE uid = %d", rng.Intn(10000))
+	}
+	c1DelStat = func(rng *rand.Rand) string {
+		return fmt.Sprintf("DELETE FROM t_stat WHERE vid = %d", rng.Intn(10000))
+	}
+)
+
+func steps(gens ...StmtGen) TaskGen {
+	return func(rng *rand.Rand) []string {
+		out := make([]string, len(gens))
+		for i, g := range gens {
+			out[i] = g(rng)
+		}
+		return out
+	}
+}
+
+// ScenarioI returns the commenting-application spec.
+func ScenarioI() Spec {
+	viewers := RoleSpec{
+		Name:   "viewer",
+		Weight: 0.85,
+		Users:  []string{"user1", "user2", "user3", "user4"},
+		Addrs:  []string{"10.0.1.11", "10.0.1.12", "10.0.1.13"},
+		Tasks: []TaskGen{
+			steps(c1InsSession, c1SelUser, c1UpdUser),             // login
+			steps(c1SelContent, c1SelDanmu, c1SelStat),            // watch with danmu on
+			steps(c1InsDanmu, c1UpdCount, c1SelDanmu),             // post a danmu
+			steps(c1SelDanmu, c1SelLike, c1InsLike, c1UpdStat),    // like a danmu
+			steps(c1SelDanmu, c1InsReport),                        // report a danmu
+			steps(c1InsDanmu, c1UpdCount, c1SelDanmu, c1DelDanmu), // post then retract
+		},
+		Weights:         []float64{1.5, 3, 2.5, 2, 0.8, 1},
+		TasksPerSession: 3,
+	}
+	moderators := RoleSpec{
+		Name:   "moderator",
+		Weight: 0.15,
+		Users:  []string{"mod1", "mod2"},
+		Addrs:  []string{"10.0.2.21", "10.0.2.22"},
+		Tasks: []TaskGen{
+			steps(c1SelReport, c1SelDanmu, c1UpdReport),            // review a report
+			steps(c1SelReport, c1DelDanmu, c1DelLike, c1DelReport), // remove content
+			steps(c1InsSession, c1SelUser, c1UpdUser),              // login
+		},
+		Weights:         []float64{3, 2, 1},
+		TasksPerSession: 2,
+		RareTasks: []TaskGen{
+			steps(c1SelSession, c1DelSession, c1DelStat), // periodic cleanup
+		},
+		RareProb: 0.06,
+	}
+	return Spec{
+		Name:           "scenario-i",
+		AvgLen:         24,
+		LenJitter:      0.25,
+		InterleaveProb: 0,
+		ShuffleProb:    0.1,
+		Roles:          []RoleSpec{viewers, moderators},
+		RichSelects: []StmtGen{
+			c1SelDanmu, c1SelContent, c1SelUser, c1SelLike, c1SelSession, c1SelStat, c1SelReport,
+		},
+		// Statements whose templates the vocabulary knows (moderators use
+		// them) but that are foreign to the dominant viewer sessions'
+		// intent — the Figure 1 style stealthy delete.
+		SensitiveOps: []StmtGen{
+			c1DelReport, c1DelSession, c1DelStat, c1UpdReport, c1SelReport,
+		},
+		RareOps: []StmtGen{
+			c1SelSession, c1DelSession, c1DelStat, c1InsReport, c1UpdReport,
+		},
+	}
+}

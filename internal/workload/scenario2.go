@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Scenario-II: the location-service application of §6.1 / Table 1 — 15
+// tables, 593 statement keys (238 select, 351 insert, 146 update, 4
+// delete), average session length 129, select/insert heavy.
+//
+// The large key count comes from fine-grained template variation, as in
+// the paper's Figure 6: "gridId IN ($2, $3)" and "gridId IN ($2, …,
+// $36)" are distinct templates, as are multi-row INSERT VALUES lists of
+// different lengths. `richness` scales those variant ranges so scaled
+// experiments keep every key trainable (1.0 reproduces Table 1's 593).
+
+const (
+	s2FpTables   = 6
+	s2PicnTables = 3
+)
+
+// s2Variants derives the variant ranges from richness.
+type s2Variants struct {
+	selIn  int // IN-list lengths for fp selects: 2..selIn+1
+	insFp  int // VALUES row counts for fp inserts: 1..insFp
+	insPcn int // VALUES row counts for picn inserts: 1..insPcn
+	updIn  int // IN-list lengths for fp updates: 1..updIn
+}
+
+func variantsFor(richness float64) s2Variants {
+	scale := func(n int) int {
+		v := int(float64(n)*richness + 0.5)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return s2Variants{selIn: scale(39), insFp: scale(48), insPcn: scale(20), updIn: scale(24)}
+}
+
+func inList(start, n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("%d", start+i)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func valuesList(rng *rand.Rand, rows, cols int) string {
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		if r > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for c := 0; c < cols; c++ {
+			if c > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", rng.Intn(100000))
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// ScenarioII returns the location-service spec with the given template
+// richness in (0, 1].
+func ScenarioII(richness float64) Spec {
+	v := variantsFor(richness)
+
+	selFp := func(table int, k int) StmtGen {
+		return func(rng *rand.Rand) string {
+			return fmt.Sprintf("SELECT * FROM t_cell_fp_%d WHERE pnci=%d and gridId IN (%s)",
+				table, rng.Intn(100000), inList(rng.Intn(1000), k))
+		}
+	}
+	selFpRand := func(rng *rand.Rand) string {
+		return selFp(1+rng.Intn(s2FpTables), 2+rng.Intn(v.selIn))(rng)
+	}
+	// updFp renders a random update-template variant; used only as A2
+	// injection material (fingerprint rewrites foreign to the victim
+	// session's shape).
+	updFp := func(rng *rand.Rand) string {
+		table := 1 + rng.Intn(s2FpTables)
+		k := 1 + rng.Intn(v.updIn)
+		return fmt.Sprintf("UPDATE t_cell_fp_%d SET fps = %d WHERE pnci = %d AND gridId IN (%s)",
+			table, rng.Intn(1000), rng.Intn(100000), inList(rng.Intn(1000), k))
+	}
+
+	selAuth := func(rng *rand.Rand) string {
+		return fmt.Sprintf("SELECT token FROM t_auth WHERE dev = %d", rng.Intn(100000))
+	}
+	updAuth := func(rng *rand.Rand) string {
+		return fmt.Sprintf("UPDATE t_auth SET last_ts = %d WHERE dev = %d", rng.Intn(1e9), rng.Intn(100000))
+	}
+	insLocRm := func(rng *rand.Rand) string {
+		return fmt.Sprintf("INSERT INTO loc_rm (dev, lat, lon, ts) VALUES (%d, %d, %d, %d)",
+			rng.Intn(100000), rng.Intn(90), rng.Intn(180), rng.Intn(1e9))
+	}
+	selLocRm := func(rng *rand.Rand) string {
+		return fmt.Sprintf("SELECT * FROM loc_rm WHERE dev = %d", rng.Intn(100000))
+	}
+	insLocRmf := func(rng *rand.Rand) string {
+		return fmt.Sprintf("INSERT INTO loc_rmf (dev, lat, lon, ts) VALUES (%d, %d, %d, %d)",
+			rng.Intn(100000), rng.Intn(90), rng.Intn(180), rng.Intn(1e9))
+	}
+	selLocRmf := func(rng *rand.Rand) string {
+		return fmt.Sprintf("SELECT * FROM loc_rmf WHERE dev = %d", rng.Intn(100000))
+	}
+	selGrid := func(rng *rand.Rand) string {
+		return fmt.Sprintf("SELECT * FROM t_grid WHERE gridId = %d", rng.Intn(100000))
+	}
+	selDev := func(rng *rand.Rand) string {
+		return fmt.Sprintf("SELECT * FROM t_dev WHERE dev = %d", rng.Intn(100000))
+	}
+	updDev := func(rng *rand.Rand) string {
+		return fmt.Sprintf("UPDATE t_dev SET last_seen = %d WHERE dev = %d", rng.Intn(1e9), rng.Intn(100000))
+	}
+	updMeta := func(rng *rand.Rand) string {
+		return fmt.Sprintf("UPDATE t_fp_meta SET version = %d WHERE tbl = %d", rng.Intn(1000), rng.Intn(s2FpTables))
+	}
+
+	delLocRm := func(rng *rand.Rand) string {
+		return fmt.Sprintf("DELETE FROM loc_rm WHERE dev = %d", rng.Intn(100000))
+	}
+	delLocRmf := func(rng *rand.Rand) string {
+		return fmt.Sprintf("DELETE FROM loc_rmf WHERE ts < %d", rng.Intn(1e9))
+	}
+	// Fingerprint purges run against the archive partitions (fixed
+	// tables) so the scenario keeps exactly 4 delete templates (Table 1).
+	delFp := func(rng *rand.Rand) string {
+		return fmt.Sprintf("DELETE FROM t_cell_fp_1 WHERE pnci = %d", rng.Intn(100000))
+	}
+	delPicn := func(rng *rand.Rand) string {
+		return fmt.Sprintf("DELETE FROM t_cell_picn_1 WHERE pnci = %d", rng.Intn(100000))
+	}
+
+	reporters := RoleSpec{
+		Name:   "reporter",
+		Weight: 0.5,
+		Users:  []string{"app1", "app2", "app3", "app4", "app5"},
+		Addrs:  []string{"172.16.0.10", "172.16.0.11", "172.16.0.12"},
+		Tasks: []TaskGen{
+			steps(selAuth, updAuth, updDev),     // authenticate
+			steps(insLocRm, selLocRm),           // report a location
+			steps(insLocRm, insLocRm, selLocRm), // burst report
+			steps(insLocRmf, selLocRmf),         // offline cache
+			steps(selDev, selLocRm),             // device status
+		},
+		Weights:         []float64{1, 4, 2, 1.5, 1.5},
+		TasksPerSession: 3,
+		RareTasks: []TaskGen{
+			steps(selLocRm, delLocRm),   // device reset wipes its trail
+			steps(selLocRmf, delLocRmf), // offline-cache cleanup
+		},
+		RareProb: 0.03,
+	}
+	// fpProfiles is the pool of recurring fingerprint-job shapes
+	// (table, select IN-lengths, insert batch size, update IN-length).
+	// It is seeded lazily from the first session's rng so a generator is
+	// fully deterministic in its seed.
+	var fpProfiles [][5]int
+	ensureFpProfiles := func(rng *rand.Rand) {
+		if fpProfiles != nil {
+			return
+		}
+		n := int(400*richness + 0.5)
+		if n < 8 {
+			n = 8
+		}
+		for i := 0; i < n; i++ {
+			fpProfiles = append(fpProfiles, [5]int{
+				1 + rng.Intn(s2FpTables),
+				2 + rng.Intn(v.selIn),
+				2 + rng.Intn(v.selIn),
+				1 + rng.Intn(v.insFp),
+				1 + rng.Intn(v.updIn),
+			})
+		}
+	}
+	var picnProfiles [][2]int
+	ensurePicnProfiles := func(rng *rand.Rand) {
+		if picnProfiles != nil {
+			return
+		}
+		n := int(60*richness + 0.5)
+		if n < 3 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			picnProfiles = append(picnProfiles, [2]int{1 + rng.Intn(s2PicnTables), 1 + rng.Intn(v.insPcn)})
+		}
+	}
+	// insFp1 inserts a single row into the archive fingerprint table: a
+	// fixed template for rare maintenance tasks.
+	insFp1 := func(rng *rand.Rand) string {
+		return fmt.Sprintf("INSERT INTO t_cell_fp_1 (pnci, gridId, fps) VALUES %s", valuesList(rng, 1, 3))
+	}
+	fpMaintainers := RoleSpec{
+		Name:   "fp-maintainer",
+		Weight: 0.35,
+		Users:  []string{"fpsvc1", "fpsvc2", "fpsvc3"},
+		Addrs:  []string{"172.16.1.20", "172.16.1.21"},
+		// A maintenance session works on one fingerprint table with one
+		// batch shape: its statement templates repeat within the session
+		// (as in Figure 6) while different sessions cover different
+		// template variants. Shapes come from a finite pool of recurring
+		// job profiles — batch jobs re-run with the same shape — so the
+		// training split covers the shapes the test split replays.
+		SessionTasks: func(rng *rand.Rand) []TaskGen {
+			ensureFpProfiles(rng)
+			p := fpProfiles[rng.Intn(len(fpProfiles))]
+			table, kA, kB, rows, kU := p[0], p[1], p[2], p[3], p[4]
+			ins := func(rng *rand.Rand) string {
+				return fmt.Sprintf("INSERT INTO t_cell_fp_%d (pnci, gridId, fps) VALUES %s",
+					table, valuesList(rng, rows, 3))
+			}
+			upd := func(rng *rand.Rand) string {
+				return fmt.Sprintf("UPDATE t_cell_fp_%d SET fps = %d WHERE pnci = %d AND gridId IN (%s)",
+					table, rng.Intn(1000), rng.Intn(100000), inList(rng.Intn(1000), kU))
+			}
+			all := []TaskGen{
+				steps(ins, selFp(table, kA)),                        // load then verify
+				steps(selFp(table, kA), selFp(table, kB)),           // lookups
+				steps(ins, selFp(table, kA), ins, selFp(table, kB)), // bulk load
+				steps(selGrid, selFp(table, kA)),                    // grid-driven lookup
+				steps(selFp(table, kA), upd),                        // verify then correct
+			}
+			// Each session pursues two or three of these goals.
+			n := 2 + rng.Intn(2)
+			rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+			return all[:n]
+		},
+		RareTasks: []TaskGen{
+			steps(updMeta, selGrid), // version bump
+			steps(delFp, insFp1),    // archive reload
+		},
+		RareProb: 0.05,
+	}
+	// insPicn1 is the fixed single-row template for rare reload tasks.
+	insPicn1 := func(rng *rand.Rand) string {
+		return fmt.Sprintf("INSERT INTO t_cell_picn_1 (pnci, pi, cn) VALUES %s", valuesList(rng, 1, 3))
+	}
+	picnLoaders := RoleSpec{
+		Name:   "picn-loader",
+		Weight: 0.15,
+		Users:  []string{"picn1", "picn2"},
+		Addrs:  []string{"172.16.2.30"},
+		// Loader sessions target one picn table with one batch size,
+		// drawn from the recurring profile pool.
+		SessionTasks: func(rng *rand.Rand) []TaskGen {
+			ensurePicnProfiles(rng)
+			p := picnProfiles[rng.Intn(len(picnProfiles))]
+			table, rows := p[0], p[1]
+			ins := func(rng *rand.Rand) string {
+				return fmt.Sprintf("INSERT INTO t_cell_picn_%d (pnci, pi, cn) VALUES %s",
+					table, valuesList(rng, rows, 3))
+			}
+			return []TaskGen{
+				steps(ins, selGrid),
+				steps(ins, ins, selGrid),
+				steps(selGrid, selDev),
+			}
+		},
+		RareTasks: []TaskGen{
+			steps(delPicn, insPicn1), // picn reload
+		},
+		RareProb: 0.04,
+	}
+	return Spec{
+		Name:           "scenario-ii",
+		AvgLen:         129,
+		LenJitter:      0.2,
+		InterleaveProb: 0.15,
+		ShuffleProb:    0.1,
+		Roles:          []RoleSpec{reporters, fpMaintainers, picnLoaders},
+		RichSelects: []StmtGen{
+			selFpRand, selLocRm, selLocRmf, selGrid, selDev, selAuth,
+		},
+		// Deletes and fingerprint rewrites are foreign to reporter and
+		// loader sessions: the stealthy A2 material.
+		SensitiveOps: []StmtGen{
+			delLocRm, delLocRmf, delFp, delPicn, updFp,
+		},
+		RareOps: []StmtGen{
+			updMeta, delLocRmf, delLocRm, selAuth, updAuth, insFp1,
+		},
+	}
+}

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"github.com/ucad/ucad/internal/session"
+	"github.com/ucad/ucad/internal/sqlnorm"
+)
+
+// Stats summarizes a session set the way the paper's Table 1 does.
+type Stats struct {
+	Sessions      int
+	AvgLen        float64
+	Keys          int            // distinct statement templates
+	KeysByCommand map[string]int // SELECT / INSERT / UPDATE / DELETE
+	Tables        int
+}
+
+// ComputeStats tokenizes the sessions with a fresh vocabulary and
+// reports Table 1 statistics.
+func ComputeStats(sessions []*session.Session) Stats {
+	v := sqlnorm.NewVocabulary()
+	tables := make(map[string]bool)
+	totalOps := 0
+	for _, s := range sessions {
+		for i := range s.Ops {
+			v.Learn(s.Ops[i].SQL)
+			if t := s.Ops[i].Table(); t != "" {
+				tables[t] = true
+			}
+		}
+		totalOps += len(s.Ops)
+	}
+	st := Stats{
+		Sessions:      len(sessions),
+		Keys:          v.Size() - 1,
+		KeysByCommand: make(map[string]int),
+		Tables:        len(tables),
+	}
+	if len(sessions) > 0 {
+		st.AvgLen = float64(totalOps) / float64(len(sessions))
+	}
+	for _, tpl := range v.Templates()[1:] {
+		st.KeysByCommand[sqlnorm.CommandOf(tpl)]++
+	}
+	return st
+}
