@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench serve-bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The CI gate: static checks plus the full suite under the race
+# detector (the serving layer is heavily concurrent).
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+serve-bench:
+	$(GO) test -bench=BenchmarkServeThroughput -benchmem -run='^$$' .
+
+clean:
+	$(GO) clean ./...

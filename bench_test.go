@@ -9,12 +9,16 @@ package ucad
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/experiments"
 	"github.com/ucad/ucad/internal/nn"
 	"github.com/ucad/ucad/internal/preprocess"
+	"github.com/ucad/ucad/internal/serve"
+	"github.com/ucad/ucad/internal/session"
 	"github.com/ucad/ucad/internal/sqlnorm"
 	"github.com/ucad/ucad/internal/tensor"
 	"github.com/ucad/ucad/internal/transdas"
@@ -217,6 +221,65 @@ func BenchmarkDBSCANSessions(b *testing.B) {
 		preprocess.DBSCAN(len(profiles), func(x, y int) float64 {
 			return preprocess.JaccardDistance(profiles[x], profiles[y])
 		}, 0.6, 3)
+	}
+}
+
+// BenchmarkServeThroughput pushes a raw event stream through the full
+// serving pipeline — per-client session assembly plus the concurrent
+// scoring pool — and reports events/sec at several worker counts. One
+// goroutine ingests (the HTTP layer is bypassed); the workers score.
+func BenchmarkServeThroughput(b *testing.B) {
+	stmts := make([]string, 20)
+	for i := range stmts {
+		stmts[i] = fmt.Sprintf("SELECT * FROM t_bench_%d WHERE id = %d", i%8, i)
+	}
+	train := make([]*session.Session, 16)
+	for i := range train {
+		s := &session.Session{ID: fmt.Sprintf("t%d", i), User: "app"}
+		for p := 0; p < 12; p++ {
+			s.Ops = append(s.Ops, session.Operation{SQL: stmts[(i+p)%len(stmts)]})
+		}
+		train[i] = s
+	}
+	cfg := core.DefaultConfig()
+	cfg.SkipClean = true
+	cfg.Model.Hidden = 4
+	cfg.Model.Heads = 2
+	cfg.Model.Blocks = 1
+	cfg.Model.Window = 8
+	cfg.Model.Epochs = 2
+	cfg.Model.Dropout = 0
+	u, err := core.Train(cfg, train, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			svc := serve.NewService(u, serve.Config{
+				Workers:     workers,
+				QueueSize:   4096,
+				Batch:       16,
+				IdleTimeout: time.Hour,
+			})
+			const clients = 32
+			ids := make([]string, clients)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("bench-client-%d", i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := serve.Event{ClientID: ids[i%clients], User: "app", SQL: stmts[i%len(stmts)]}
+				for svc.Ingest(ev) == serve.ErrBusy {
+					runtime.Gosched() // backpressure: wait for the pool
+				}
+			}
+			svc.Drain()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			svc.Stop()
+		})
 	}
 }
 

@@ -1,0 +1,98 @@
+// Command ucad-serve runs the online detection loop of §5.2–§5.3 as an
+// HTTP service: database frontends stream raw statement events in,
+// sessions assemble per client, every operation is scored incrementally
+// against a trained model, and flagged operations surface as alerts
+// while the session is still active.
+//
+// Usage:
+//
+//	ucad-serve -model ucad.model [-addr :8844] [-workers 4]
+//
+// API:
+//
+//	POST /v1/events              {"client_id":"c1","user":"u","sql":"SELECT ..."} or a JSON array
+//	GET  /v1/alerts?status=open  flagged sessions awaiting expert review
+//	POST /v1/alerts/{id}/resolve {"verdict":"false_alarm"|"confirmed"}
+//	GET  /healthz                liveness
+//	GET  /stats                  serving counters
+//
+// Train a model first with `ucad train` (see cmd/ucad).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ucad/ucad/internal/core"
+	"github.com/ucad/ucad/internal/serve"
+)
+
+func main() {
+	modelPath := flag.String("model", "ucad.model", "trained model file (ucad train)")
+	addr := flag.String("addr", ":8844", "HTTP listen address")
+	workers := flag.Int("workers", 4, "scoring worker-pool size")
+	queue := flag.Int("queue", 1024, "scoring queue capacity (backpressure bound)")
+	batch := flag.Int("batch", 16, "scoring micro-batch size per worker pass")
+	idle := flag.Duration("idle-timeout", 10*time.Minute, "close a client session after this inactivity")
+	sweep := flag.Duration("sweep-every", 15*time.Second, "idle close-out sweep period")
+	retrainAfter := flag.Int("retrain-after", 0, "fine-tune when the verified pool reaches this many sessions (0 disables)")
+	retrainEpochs := flag.Int("retrain-epochs", 2, "epochs per fine-tune round")
+	flag.Parse()
+
+	mf, err := os.Open(*modelPath)
+	fatalIf(err)
+	u, err := core.Load(mf)
+	mf.Close()
+	fatalIf(err)
+	mcfg := u.Model.Config()
+	fmt.Printf("model loaded: vocab=%d window=%d top-p=%d\n", mcfg.Vocab, mcfg.Window, mcfg.TopP)
+
+	svc := serve.NewService(u, serve.Config{
+		Workers:       *workers,
+		QueueSize:     *queue,
+		Batch:         *batch,
+		IdleTimeout:   *idle,
+		SweepEvery:    *sweep,
+		RetrainAfter:  *retrainAfter,
+		RetrainEpochs: *retrainEpochs,
+	})
+	svc.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("serving on %s with %d workers (queue %d, idle timeout %s)\n",
+		*addr, *workers, *queue, *idle)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("\n%s: draining...\n", sig)
+	case err := <-errc:
+		fatalIf(err)
+	}
+
+	// Quiesce ingestion first, then flush open sessions through
+	// close-out detection.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	svc.Stop()
+	st := svc.Stats()
+	fmt.Printf("done: %d events, %d sessions closed, %d flagged, %d alerts open\n",
+		st.EventsAccepted, st.SessionsClosed, st.SessionsFlagged, st.AlertsOpen)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ucad-serve:", err)
+		os.Exit(1)
+	}
+}

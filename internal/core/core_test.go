@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -122,6 +124,39 @@ func TestSaveLoadRoundtrip(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("loaded detector disagrees: %v vs %v", a, b)
 		}
+	}
+}
+
+// TestSaveLoadThroughFile round-trips through a real file. Unlike
+// bytes.Buffer, *os.File does not implement io.ByteReader, so this
+// exercises the wrapped-reader path: without it each gob decoder
+// buffers past its own section and the next one misaligns.
+func TestSaveLoadThroughFile(t *testing.T) {
+	u, g, _ := trainSmall(t)
+	path := filepath.Join(t.TempDir(), "ucad.model")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	loaded, err := Load(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := g.NewSession()
+	a, b := u.DetectSession(probe), loaded.DetectSession(probe)
+	if len(a) != len(b) {
+		t.Fatalf("file-loaded detector disagrees: %v vs %v", a, b)
 	}
 }
 

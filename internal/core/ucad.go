@@ -5,6 +5,7 @@
 package core
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -144,8 +145,14 @@ func (u *UCAD) Save(w io.Writer) error {
 	return u.Model.Save(w)
 }
 
-// Load restores a detector saved by Save.
+// Load restores a detector saved by Save. The stream is a sequence of
+// gob messages (vocabulary, model config, parameters), each read by its
+// own decoder; a reader without byte-exact reads (io.ByteReader) must
+// be wrapped once so no decoder buffers into the next section.
 func Load(r io.Reader) (*UCAD, error) {
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
 	var templates []string
 	if err := gob.NewDecoder(r).Decode(&templates); err != nil {
 		return nil, fmt.Errorf("core: decode vocabulary: %w", err)

@@ -21,9 +21,15 @@ type Alert struct {
 }
 
 // Online is the streaming detection loop. It is safe for concurrent
-// Process calls; Retrain must not run concurrently with Process.
+// use: Process and RankAt score under a read-lock while Retrain
+// fine-tunes under the write-lock, so scoring and retraining may be
+// issued from independent goroutines.
 type Online struct {
 	mu sync.Mutex
+	// modelMu serializes model mutation (Retrain's fine-tune) against
+	// model reads (Process, RankAt). Inference is read-only on the
+	// weights, so concurrent readers are safe with each other.
+	modelMu sync.RWMutex
 
 	ucad *core.UCAD
 	// verified accumulates sessions confirmed normal since the last
@@ -42,7 +48,9 @@ func NewOnline(u *core.UCAD) *Online { return &Online{ucad: u} }
 // verified pool immediately; anomalous ones return an Alert and wait in
 // the pending queue for expert review.
 func (o *Online) Process(s *session.Session) *Alert {
+	o.modelMu.RLock()
 	positions := o.ucad.DetectSession(s)
+	o.modelMu.RUnlock()
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.processed++
@@ -105,7 +113,8 @@ func (o *Online) VerifiedCount() int {
 
 // Retrain fine-tunes the model on the verified pool and clears it —
 // one round of the paper's periodic training (§3). It returns the
-// number of sessions absorbed.
+// number of sessions absorbed. Concurrent Process/RankAt calls block
+// for the duration of the fine-tune and resume on the updated model.
 func (o *Online) Retrain(epochs int) int {
 	o.mu.Lock()
 	pool := o.verified
@@ -114,6 +123,22 @@ func (o *Online) Retrain(epochs int) int {
 	if len(pool) == 0 {
 		return 0
 	}
+	o.modelMu.Lock()
 	o.ucad.FineTune(pool, epochs)
+	o.modelMu.Unlock()
 	return len(pool)
 }
+
+// RankAt scores one operation incrementally: the 1-based similarity
+// rank of key given the preceding statement keys, read-locked against
+// Retrain. buf is an optional reusable similarity buffer (see
+// transdas.Model.ScoreNextInto); pass nil to allocate.
+func (o *Online) RankAt(buf []float64, preceding []int, key int) int {
+	o.modelMu.RLock()
+	defer o.modelMu.RUnlock()
+	return o.ucad.Model.RankOfInto(buf, preceding, key)
+}
+
+// Detector returns the wrapped trained detector (vocabulary access for
+// live tokenization; do not mutate the model directly).
+func (o *Online) Detector() *core.UCAD { return o.ucad }

@@ -89,6 +89,47 @@ func TestOnlineLoop(t *testing.T) {
 	}
 }
 
+// TestOnlineConcurrentProcessRetrain interleaves scoring and
+// fine-tuning from independent goroutines; the model RWMutex must keep
+// this race-free (run under -race).
+func TestOnlineConcurrentProcessRetrain(t *testing.T) {
+	u, g := trainedUCAD(t)
+	o := NewOnline(u)
+	// Seed the verified pool so the first Retrain has work.
+	for _, s := range g.GenerateSessions(6) {
+		o.Process(s)
+	}
+	sessions := g.GenerateSessions(8)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			buf := make([]float64, u.Model.Config().Vocab)
+			for i := w; i < len(sessions); i += 4 {
+				o.Process(sessions[i])
+				keys := make([]int, len(sessions[i].Ops))
+				for j, op := range sessions[i].Ops {
+					keys[j] = u.Vocab.Key(op.SQL)
+				}
+				if len(keys) > 3 {
+					o.RankAt(buf, keys[:3], keys[3])
+				}
+			}
+		}(w)
+	}
+	go func() {
+		defer func() { done <- struct{}{} }()
+		o.Retrain(1)
+	}()
+	for w := 0; w < 5; w++ {
+		<-done
+	}
+	processed, _ := o.Stats()
+	if processed != 14 {
+		t.Fatalf("processed = %d, want 14", processed)
+	}
+}
+
 func TestOnlineConcurrentProcess(t *testing.T) {
 	u, g := trainedUCAD(t)
 	o := NewOnline(u)

@@ -39,6 +39,7 @@ func TestTable2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full comparison is slow")
 	}
+	t.Parallel()
 	res := Table2(quickOpt(), nil)
 	if len(res) != 2 {
 		t.Fatalf("scenarios = %d", len(res))
@@ -89,6 +90,7 @@ func TestTable3AblationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweep is slow")
 	}
+	t.Parallel()
 	res := Table3(quickOpt(), nil)
 	for _, sc := range res {
 		if len(sc.Rows) != len(ablationOrder) {
@@ -138,6 +140,7 @@ func TestTable6TransferShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("transfer sweep is slow")
 	}
+	t.Parallel()
 	res := Table6(quickOpt(), nil)
 	if len(res) != 3 {
 		t.Fatalf("datasets = %d", len(res))
@@ -170,6 +173,7 @@ func TestFigure6AttentionStructure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training is slow")
 	}
+	t.Parallel()
 	var buf bytes.Buffer
 	res := Figure6(quickOpt(), &buf)
 	if res.Weights == nil || res.Weights.Rows != len(res.Keys) {
@@ -196,6 +200,7 @@ func TestFigure7Sensitivity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweeps are slow")
 	}
+	t.Parallel()
 	res := Figure7(quickOpt(), nil)
 	if len(res) != 2 {
 		t.Fatalf("scenarios = %d", len(res))
@@ -234,6 +239,7 @@ func TestFigure8Robustness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("contamination sweep is slow")
 	}
+	t.Parallel()
 	res := Figure8(quickOpt(), nil)
 	if len(res) != 2 {
 		t.Fatalf("scenarios = %d", len(res))

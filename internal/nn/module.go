@@ -9,6 +9,7 @@
 package nn
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -78,6 +79,11 @@ func SaveParams(w io.Writer, params []*tensor.Param) error {
 // LoadParams restores parameter values saved by SaveParams. Every stored
 // blob must match a parameter with the same name and shape.
 func LoadParams(r io.Reader, params []*tensor.Param) error {
+	// Keep reads byte-exact so this decoder cannot buffer past its own
+	// gob messages when the stream continues after the parameters.
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
 	var blobs []paramBlob
 	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
 		return fmt.Errorf("nn: decode params: %w", err)

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ucad/ucad/internal/detect"
+)
+
+// Alert statuses.
+const (
+	StatusOpen       = "open"
+	StatusFalseAlarm = "false_alarm"
+	StatusConfirmed  = "confirmed"
+)
+
+// Alert is one flagged session as the serving layer reports it: created
+// the moment the first mid-session flag fires (early warning, §5.3) and
+// finalized when the session closes and full-session detection confirms
+// the positions.
+type Alert struct {
+	ID        int64  `json:"id"`
+	SessionID string `json:"session_id"`
+	Client    string `json:"client"`
+	User      string `json:"user"`
+	Positions []int  `json:"positions"`
+	// Statements holds the flagged statement texts aligned with
+	// Positions (empty string when only known from close-out detection).
+	Statements []string `json:"statements"`
+	Status     string   `json:"status"`
+	// Final reports whether the session has closed; only final alerts
+	// can be resolved.
+	Final     bool      `json:"final"`
+	CreatedAt time.Time `json:"created_at"`
+	UpdatedAt time.Time `json:"updated_at"`
+
+	// da is the detection-loop alert to forward expert verdicts to;
+	// nil when close-out detection judged the session normal.
+	da *detect.Alert
+}
+
+// alertStore indexes alerts by id and by open session. It also
+// remembers recently finalized sessions so late scoring results for a
+// closed session do not spawn orphan alerts.
+type alertStore struct {
+	mu        sync.Mutex
+	nextID    int64
+	byID      map[int64]*Alert
+	bySession map[string]*Alert
+	finalized *ringSet
+	now       func() time.Time
+}
+
+func newAlertStore(now func() time.Time) *alertStore {
+	return &alertStore{
+		byID:      make(map[int64]*Alert),
+		bySession: make(map[string]*Alert),
+		finalized: newRingSet(4096),
+		now:       now,
+	}
+}
+
+// flag records one mid-session anomalous operation, creating the
+// session's alert on first flag. It reports whether the flag was
+// absorbed (false for late results on already-finalized sessions).
+func (st *alertStore) flag(r Result, user string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a := st.bySession[r.SessionID]
+	if a == nil {
+		if st.finalized.has(r.SessionID) {
+			return false
+		}
+		st.nextID++
+		a = &Alert{
+			ID:        st.nextID,
+			SessionID: r.SessionID,
+			Client:    r.Client,
+			User:      user,
+			Status:    StatusOpen,
+			CreatedAt: st.now(),
+		}
+		st.byID[a.ID] = a
+		st.bySession[r.SessionID] = a
+	}
+	a.addPosition(r.Pos, r.SQL)
+	a.UpdatedAt = st.now()
+	return true
+}
+
+// finalize marks the session closed. da carries the close-out detection
+// verdict (nil = session-level normal); when it flagged positions the
+// alert absorbs them, creating the alert if mid-session scoring never
+// fired (e.g. the flags raced the close-out).
+func (st *alertStore) finalize(sessionID, client, user string, stmts []string, da *detect.Alert) *Alert {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.finalized.add(sessionID)
+	a := st.bySession[sessionID]
+	if a == nil && da == nil {
+		return nil
+	}
+	if a == nil {
+		st.nextID++
+		a = &Alert{
+			ID:        st.nextID,
+			SessionID: sessionID,
+			Client:    client,
+			User:      user,
+			Status:    StatusOpen,
+			CreatedAt: st.now(),
+		}
+		st.byID[a.ID] = a
+	}
+	delete(st.bySession, sessionID)
+	a.Final = true
+	a.da = da
+	if da != nil {
+		for _, pos := range da.Positions {
+			var sql string
+			if pos < len(stmts) {
+				sql = stmts[pos]
+			}
+			a.addPosition(pos, sql)
+		}
+	}
+	a.UpdatedAt = st.now()
+	return a
+}
+
+// resolve applies an expert verdict to a final alert and returns the
+// detection-loop alert to forward the verdict to (nil when close-out
+// detection had judged the session normal).
+func (st *alertStore) resolve(id int64, status string) (*detect.Alert, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a := st.byID[id]
+	if a == nil {
+		return nil, ErrNoAlert
+	}
+	if !a.Final {
+		return nil, ErrSessionOpen
+	}
+	if a.Status != StatusOpen {
+		return nil, ErrNoAlert
+	}
+	a.Status = status
+	a.UpdatedAt = st.now()
+	da := a.da
+	a.da = nil
+	return da, nil
+}
+
+// list returns alerts sorted by id; status "" means all.
+func (st *alertStore) list(status string) []Alert {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Alert, 0, len(st.byID))
+	for _, a := range st.byID {
+		if status != "" && a.Status != status {
+			continue
+		}
+		c := *a
+		c.Positions = append([]int(nil), a.Positions...)
+		c.Statements = append([]string(nil), a.Statements...)
+		c.da = nil
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (st *alertStore) openCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, a := range st.byID {
+		if a.Status == StatusOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// addPosition inserts pos keeping Positions sorted and deduplicated.
+func (a *Alert) addPosition(pos int, sql string) {
+	i := sort.SearchInts(a.Positions, pos)
+	if i < len(a.Positions) && a.Positions[i] == pos {
+		if a.Statements[i] == "" {
+			a.Statements[i] = sql
+		}
+		return
+	}
+	a.Positions = append(a.Positions, 0)
+	copy(a.Positions[i+1:], a.Positions[i:])
+	a.Positions[i] = pos
+	a.Statements = append(a.Statements, "")
+	copy(a.Statements[i+1:], a.Statements[i:])
+	a.Statements[i] = sql
+}
+
+// ringSet is a fixed-capacity set with FIFO eviction — enough memory to
+// absorb late scoring results without growing without bound.
+type ringSet struct {
+	set  map[string]struct{}
+	ring []string
+	next int
+}
+
+func newRingSet(capacity int) *ringSet {
+	return &ringSet{set: make(map[string]struct{}, capacity), ring: make([]string, 0, capacity)}
+}
+
+func (r *ringSet) add(k string) {
+	if _, ok := r.set[k]; ok {
+		return
+	}
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, k)
+	} else {
+		delete(r.set, r.ring[r.next])
+		r.ring[r.next] = k
+		r.next = (r.next + 1) % cap(r.ring)
+	}
+	r.set[k] = struct{}{}
+}
+
+func (r *ringSet) has(k string) bool {
+	_, ok := r.set[k]
+	return ok
+}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ucad/ucad/internal/session"
+)
+
+// Assembler turns a stream of per-client events into sessions: each
+// client has at most one open session, events append to it, and a
+// session closes when the client has been idle past the timeout (the
+// paper's idle-gap sessionization of §6.1 running online instead of as
+// a batch sort). It is safe for concurrent use.
+type Assembler struct {
+	mu   sync.Mutex
+	open map[string]*openSession
+	idle time.Duration
+	now  func() time.Time
+	seq  int
+
+	opened int64
+	closed int64
+}
+
+type openSession struct {
+	sess     *session.Session
+	keys     []int
+	lastSeen time.Time
+}
+
+// NewAssembler builds an assembler closing sessions after idle of
+// inactivity. now supplies the wall clock (nil means time.Now); tests
+// inject a fake clock to drive close-out deterministically.
+func NewAssembler(idle time.Duration, now func() time.Time) *Assembler {
+	if now == nil {
+		now = time.Now
+	}
+	return &Assembler{open: make(map[string]*openSession), idle: idle, now: now}
+}
+
+// Appended describes the assembly state right after one event was
+// absorbed: which session it joined, at which position, and a snapshot
+// of the statement-key window ending at that operation (safe to hand to
+// a concurrent scorer — it does not alias the live session).
+type Appended struct {
+	SessionID string
+	// Pos is the 0-based index of the operation within its session.
+	Pos int
+	// Keys holds the up-to-window most recent statement keys, the last
+	// one being the appended operation's key.
+	Keys []int
+}
+
+// Append absorbs one event whose statement was already tokenized to
+// key. window bounds the length of the returned key snapshot (0 means
+// the whole session).
+func (a *Assembler) Append(ev Event, key, window int) Appended {
+	now := a.now()
+	ts := ev.Time
+	if ts.IsZero() {
+		ts = now
+	}
+	client := ev.Client()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	os := a.open[client]
+	if os == nil {
+		a.seq++
+		a.opened++
+		os = &openSession{sess: &session.Session{
+			ID:   fmt.Sprintf("%s#%d", client, a.seq),
+			User: ev.User,
+			Addr: ev.Addr,
+		}}
+		a.open[client] = os
+	}
+	os.sess.Ops = append(os.sess.Ops, session.Operation{
+		Time: ts, User: ev.User, Addr: ev.Addr, SessionID: os.sess.ID, SQL: ev.SQL, Key: key,
+	})
+	os.keys = append(os.keys, key)
+	os.lastSeen = now
+
+	lo := 0
+	if window > 0 && len(os.keys) > window {
+		lo = len(os.keys) - window
+	}
+	snap := append([]int(nil), os.keys[lo:]...)
+	return Appended{SessionID: os.sess.ID, Pos: len(os.keys) - 1, Keys: snap}
+}
+
+// Rollback removes the operation at position pos from the client's open
+// session, provided it is still the most recent one — the undo path
+// when the scoring queue rejects an event and the caller bounces it
+// back to the client for retry. It reports whether the operation was
+// actually removed (a concurrent append for the same client after pos
+// prevents the rollback; the event then simply stays unscored).
+func (a *Assembler) Rollback(client string, pos int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	os := a.open[client]
+	if os == nil || len(os.keys) != pos+1 {
+		return false
+	}
+	os.sess.Ops = os.sess.Ops[:pos]
+	os.keys = os.keys[:pos]
+	if pos == 0 {
+		delete(a.open, client)
+		a.opened--
+	}
+	return true
+}
+
+// Closed is a closed-out session together with the client key that
+// assembled it.
+type Closed struct {
+	Client  string
+	Session *session.Session
+}
+
+// CloseIdle closes and returns every session idle past the timeout.
+func (a *Assembler) CloseIdle() []Closed {
+	cutoff := a.now().Add(-a.idle)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Closed
+	for client, os := range a.open {
+		if !os.lastSeen.After(cutoff) {
+			delete(a.open, client)
+			a.closed++
+			out = append(out, Closed{Client: client, Session: os.sess})
+		}
+	}
+	return out
+}
+
+// CloseAll closes and returns every open session (shutdown flush).
+func (a *Assembler) CloseAll() []Closed {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Closed
+	for client, os := range a.open {
+		delete(a.open, client)
+		a.closed++
+		out = append(out, Closed{Client: client, Session: os.sess})
+	}
+	return out
+}
+
+// OpenCount returns the number of currently open sessions.
+func (a *Assembler) OpenCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.open)
+}
+
+// Counts reports lifetime opened/closed session counts.
+func (a *Assembler) Counts() (opened, closed int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.opened, a.closed
+}

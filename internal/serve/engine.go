@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ranker scores one operation against its preceding context; the
+// production implementation is detect.Online.RankAt (read-locked
+// against retraining). buf is a reusable similarity buffer.
+type Ranker interface {
+	RankAt(buf []float64, preceding []int, key int) int
+}
+
+// Job is one operation awaiting scoring: the key window ending at the
+// scored operation, plus enough identity to route the result.
+type Job struct {
+	Client    string
+	User      string
+	SessionID string
+	// Keys is the context window; the last entry is the scored key.
+	Keys []int
+	// Pos is the operation's index within its session.
+	Pos int
+	// SQL is the scored statement text (carried into alerts).
+	SQL string
+}
+
+// Result is a scored job.
+type Result struct {
+	Job
+	// Rank is the 1-based similarity rank of the operation's key (§5.3);
+	// ranks beyond top-p are anomalies.
+	Rank int
+}
+
+// Engine is a bounded worker pool scoring jobs against a Ranker.
+// Submit never blocks: when the queue is full it fails fast with
+// ErrBusy so the ingestion layer can push backpressure to clients.
+// Workers drain the queue in micro-batches, reusing one similarity
+// buffer per worker so the hot path does not allocate per operation.
+type Engine struct {
+	ranker   Ranker
+	bufSize  int
+	batch    int
+	queue    chan Job
+	onResult func(Result)
+
+	mu     sync.RWMutex // guards closed vs Submit
+	closed bool
+
+	workers  sync.WaitGroup
+	inflight sync.WaitGroup
+
+	scored   atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewEngine builds an engine with the given worker count, queue
+// capacity and micro-batch size (values < 1 are raised to 1). bufSize
+// is the similarity-buffer length (the model vocabulary). onResult is
+// invoked from worker goroutines for every scored job and must be safe
+// for concurrent use.
+func NewEngine(r Ranker, bufSize, workers, queueSize, batch int, onResult func(Result)) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueSize < 1 {
+		queueSize = 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	if onResult == nil {
+		onResult = func(Result) {}
+	}
+	e := &Engine{
+		ranker:   r,
+		bufSize:  bufSize,
+		batch:    batch,
+		queue:    make(chan Job, queueSize),
+		onResult: onResult,
+	}
+	for i := 0; i < workers; i++ {
+		e.workers.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Submit enqueues a job, failing fast with ErrBusy when the queue is
+// full or ErrStopped after Stop.
+func (e *Engine) Submit(j Job) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrStopped
+	}
+	e.inflight.Add(1)
+	select {
+	case e.queue <- j:
+		return nil
+	default:
+		e.inflight.Done()
+		e.rejected.Add(1)
+		return ErrBusy
+	}
+}
+
+// Drain blocks until every accepted job has been scored. Callers must
+// quiesce submission first (it is a shutdown/test aid, not a barrier
+// for concurrent submitters).
+func (e *Engine) Drain() { e.inflight.Wait() }
+
+// Stop rejects further submissions and waits for the workers to finish
+// the jobs already queued.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+	e.workers.Wait()
+}
+
+// QueueDepth reports the number of queued-but-unstarted jobs.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// Counts reports lifetime scored and rejected job counts.
+func (e *Engine) Counts() (scored, rejected int64) {
+	return e.scored.Load(), e.rejected.Load()
+}
+
+func (e *Engine) worker() {
+	defer e.workers.Done()
+	buf := make([]float64, e.bufSize)
+	batch := make([]Job, 0, e.batch)
+	for j := range e.queue {
+		batch = append(batch[:0], j)
+	fill:
+		// Micro-batch: opportunistically drain more queued jobs so a
+		// burst is scored by one worker pass over a warm buffer.
+		for len(batch) < e.batch {
+			select {
+			case j2, ok := <-e.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, j2)
+			default:
+				break fill
+			}
+		}
+		for _, job := range batch {
+			n := len(job.Keys)
+			rank := e.ranker.RankAt(buf, job.Keys[:n-1], job.Keys[n-1])
+			e.scored.Add(1)
+			e.onResult(Result{Job: job, Rank: rank})
+			e.inflight.Done()
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the HTTP/JSON API over the service:
+//
+//	POST /v1/events              ingest one event or an array of events
+//	GET  /v1/alerts[?status=s]   list alerts (open|false_alarm|confirmed)
+//	POST /v1/alerts/{id}/resolve apply an expert verdict
+//	GET  /healthz                liveness probe
+//	GET  /stats                  serving counters
+//
+// A full scoring queue answers 503 with Retry-After — the backpressure
+// contract: the rejected events were rolled back and are safe to
+// resend.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
+	mux.HandleFunc("POST /v1/alerts/{id}/resolve", s.handleResolve)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// eventsResponse reports how much of a batch was absorbed; on a 503 the
+// client resends everything from index Accepted onward.
+type eventsResponse struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	events, err := decodeEvents(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, eventsResponse{Error: err.Error()})
+		return
+	}
+	for i, ev := range events {
+		if err := s.Ingest(ev); err != nil {
+			code := http.StatusBadRequest
+			switch {
+			case errors.Is(err, ErrBusy):
+				code = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", "1")
+			case errors.Is(err, ErrStopped):
+				code = http.StatusServiceUnavailable
+			}
+			writeJSON(w, code, eventsResponse{Accepted: i, Error: err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusAccepted, eventsResponse{Accepted: len(events)})
+}
+
+// decodeEvents accepts either a single JSON event object or an array.
+func decodeEvents(r *http.Request) ([]Event, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		return nil, errors.New("invalid JSON body")
+	}
+	for _, c := range raw {
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '[':
+			var events []Event
+			if err := json.Unmarshal(raw, &events); err != nil {
+				return nil, errors.New("invalid event array")
+			}
+			return events, nil
+		default:
+			var ev Event
+			if err := json.Unmarshal(raw, &ev); err != nil {
+				return nil, errors.New("invalid event object")
+			}
+			return []Event{ev}, nil
+		}
+	}
+	return nil, errors.New("empty body")
+}
+
+func (s *Service) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	status := r.URL.Query().Get("status")
+	switch status {
+	case "", StatusOpen, StatusFalseAlarm, StatusConfirmed:
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown status filter"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"alerts": s.Alerts(status)})
+}
+
+func (s *Service) handleResolve(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid alert id"})
+		return
+	}
+	var body struct {
+		Verdict string `json:"verdict"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid JSON body"})
+		return
+	}
+	switch err := s.Resolve(id, body.Verdict); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "resolved"})
+	case errors.Is(err, ErrNoAlert):
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no open alert with that id"})
+	case errors.Is(err, ErrSessionOpen):
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "session still open"})
+	case errors.Is(err, ErrInvalid):
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown verdict (use false_alarm or confirmed)"})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,55 @@
+// Package serve is the online half of the paper's deployment story
+// (§5.2–§5.3, Figure 5) as a running system: a stream of raw
+// (client, SQL, timestamp) events is assembled into per-client
+// sessions, every operation is scored incrementally against the trained
+// Trans-DAS model by a bounded worker pool, and flagged operations
+// surface as alerts for expert review — all while sessions are still
+// open, not only after they end.
+//
+// The package is layered as
+//
+//	Assembler  — per-client open-session state with idle-timeout close-out
+//	Engine     — micro-batched concurrent scoring with backpressure
+//	Service    — wires both to detect.Online's verified-pool/retrain loop
+//	Handler    — the HTTP/JSON front (cmd/ucad-serve)
+package serve
+
+import (
+	"errors"
+	"time"
+)
+
+// Event is one raw audit-log record as it arrives from a database
+// frontend: which client issued which statement when.
+type Event struct {
+	// ClientID identifies the connection/session stream; events sharing
+	// a ClientID are assembled into one session. Empty falls back to
+	// user@addr.
+	ClientID string `json:"client_id,omitempty"`
+	// User is the authenticated database account.
+	User string `json:"user"`
+	// Addr is the client network address.
+	Addr string `json:"addr,omitempty"`
+	// SQL is the raw statement text.
+	SQL string `json:"sql"`
+	// Time is the statement execution timestamp; zero means "now".
+	Time time.Time `json:"ts,omitempty"`
+}
+
+// Client returns the assembly key for the event.
+func (e Event) Client() string {
+	if e.ClientID != "" {
+		return e.ClientID
+	}
+	return e.User + "@" + e.Addr
+}
+
+// Errors surfaced to API callers. ErrBusy maps to HTTP 503 (the
+// backpressure signal), ErrInvalid to 400, ErrSessionOpen to 409.
+var (
+	ErrBusy        = errors.New("serve: scoring queue full")
+	ErrInvalid     = errors.New("serve: event missing sql")
+	ErrStopped     = errors.New("serve: service stopped")
+	ErrSessionOpen = errors.New("serve: session still open")
+	ErrNoAlert     = errors.New("serve: no such alert")
+)

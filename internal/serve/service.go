@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ucad/ucad/internal/core"
+	"github.com/ucad/ucad/internal/detect"
+)
+
+// Config tunes the serving layer.
+type Config struct {
+	// Workers is the scoring worker-pool size.
+	Workers int
+	// QueueSize bounds the scoring queue; a full queue rejects events
+	// with ErrBusy (backpressure).
+	QueueSize int
+	// Batch is the micro-batch size a worker drains per pass.
+	Batch int
+	// IdleTimeout closes a client's session after this much inactivity.
+	IdleTimeout time.Duration
+	// SweepEvery is the close-out sweep period (0 disables the
+	// background sweeper; CloseIdleNow still works).
+	SweepEvery time.Duration
+	// RetrainAfter triggers a background fine-tune once the verified
+	// pool reaches this many sessions (0 disables auto-retraining).
+	RetrainAfter int
+	// RetrainEpochs is the fine-tune epoch count per retrain round.
+	RetrainEpochs int
+	// Clock supplies the wall clock (nil means time.Now); tests inject
+	// a fake clock to drive idle close-out deterministically.
+	Clock func() time.Time
+}
+
+// DefaultConfig returns serving defaults sized for a single node.
+func DefaultConfig() Config {
+	return Config{
+		Workers:       4,
+		QueueSize:     1024,
+		Batch:         16,
+		IdleTimeout:   10 * time.Minute,
+		SweepEvery:    15 * time.Second,
+		RetrainEpochs: 2,
+	}
+}
+
+// Service is the full online detection loop of Figure 5 as a running
+// system: events stream in, sessions assemble per client, every
+// operation is scored concurrently against the trained model, flagged
+// operations raise alerts mid-session, closed sessions feed the
+// verified-pool/retrain cycle via detect.Online.
+type Service struct {
+	cfg    Config
+	ucad   *core.UCAD
+	online *detect.Online
+	asm    *Assembler
+	engine *Engine
+	alerts *alertStore
+
+	window     int
+	minContext int
+	topP       int
+
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	midFlags  atomic.Int64
+	lateFlags atomic.Int64
+	retrains  atomic.Int64
+
+	stopped    atomic.Bool
+	retraining atomic.Bool
+	retrainWG  sync.WaitGroup
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	startOnce sync.Once
+}
+
+// NewService wires a trained detector into a serving loop. The scoring
+// workers start immediately; call Start to launch the background
+// close-out sweeper and Stop to flush and shut down.
+func NewService(u *core.UCAD, cfg Config) *Service {
+	def := DefaultConfig()
+	if cfg.Workers <= 0 {
+		cfg.Workers = def.Workers
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = def.QueueSize
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = def.Batch
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = def.IdleTimeout
+	}
+	if cfg.RetrainEpochs <= 0 {
+		cfg.RetrainEpochs = def.RetrainEpochs
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	mcfg := u.Model.Config()
+	s := &Service{
+		cfg:        cfg,
+		ucad:       u,
+		online:     detect.NewOnline(u),
+		asm:        NewAssembler(cfg.IdleTimeout, cfg.Clock),
+		alerts:     newAlertStore(cfg.Clock),
+		window:     mcfg.Window,
+		minContext: mcfg.MinContext,
+		topP:       mcfg.TopP,
+	}
+	s.engine = NewEngine(s.online, mcfg.Vocab, cfg.Workers, cfg.QueueSize, cfg.Batch, s.onResult)
+	return s
+}
+
+// Start launches the background idle-session sweeper (no-op when
+// Config.SweepEvery is zero).
+func (s *Service) Start() {
+	s.startOnce.Do(func() {
+		if s.cfg.SweepEvery <= 0 {
+			return
+		}
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go func() {
+			defer close(s.sweepDone)
+			t := time.NewTicker(s.cfg.SweepEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.CloseIdleNow()
+				case <-s.sweepStop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop flushes every open session through close-out detection and shuts
+// the scoring pool down. Quiesce ingestion (shut the HTTP server down)
+// before calling it; Ingest fails with ErrStopped afterwards.
+func (s *Service) Stop() {
+	if !s.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		<-s.sweepDone
+	}
+	s.engine.Drain()
+	s.finalize(s.asm.CloseAll())
+	s.engine.Stop()
+	s.retrainWG.Wait()
+}
+
+// Ingest absorbs one event: the statement is tokenized with the trained
+// vocabulary, appended to the client's open session, and queued for
+// incremental scoring once the session has MinContext history. A full
+// scoring queue rejects the event with ErrBusy — the operation is
+// rolled back out of the session so a client retry is not a duplicate.
+func (s *Service) Ingest(ev Event) error {
+	if s.stopped.Load() {
+		return ErrStopped
+	}
+	if ev.SQL == "" {
+		return ErrInvalid
+	}
+	key := s.ucad.Vocab.Key(ev.SQL)
+	ap := s.asm.Append(ev, key, s.window+1)
+	if ap.Pos >= s.minContext {
+		job := Job{
+			Client:    ev.Client(),
+			User:      ev.User,
+			SessionID: ap.SessionID,
+			Keys:      ap.Keys,
+			Pos:       ap.Pos,
+			SQL:       ev.SQL,
+		}
+		if err := s.engine.Submit(job); err != nil {
+			s.asm.Rollback(ev.Client(), ap.Pos)
+			s.rejected.Add(1)
+			return err
+		}
+	}
+	s.accepted.Add(1)
+	return nil
+}
+
+// onResult runs on scoring workers: ranks beyond top-p raise (or
+// extend) the session's mid-session alert.
+func (s *Service) onResult(r Result) {
+	if r.Rank <= s.topP {
+		return
+	}
+	s.midFlags.Add(1)
+	if !s.alerts.flag(r, r.User) {
+		s.lateFlags.Add(1)
+	}
+}
+
+// CloseIdleNow sweeps idle sessions through close-out detection
+// immediately and returns how many closed.
+func (s *Service) CloseIdleNow() int {
+	closed := s.asm.CloseIdle()
+	s.finalize(closed)
+	return len(closed)
+}
+
+// finalize runs full-session detection on closed sessions — the
+// authoritative verdict of Figure 5: normal sessions join the verified
+// pool, anomalous ones become (or complete) pending alerts.
+func (s *Service) finalize(closed []Closed) {
+	for _, c := range closed {
+		da := s.online.Process(c.Session)
+		stmts := make([]string, len(c.Session.Ops))
+		for i := range c.Session.Ops {
+			stmts[i] = c.Session.Ops[i].SQL
+		}
+		s.alerts.finalize(c.Session.ID, c.Client, c.Session.User, stmts, da)
+	}
+	s.maybeRetrain()
+}
+
+// maybeRetrain kicks one background fine-tune round when the verified
+// pool is large enough; scoring keeps running and blocks only for the
+// model-swap critical section inside detect.Online.
+func (s *Service) maybeRetrain() {
+	if s.cfg.RetrainAfter <= 0 || s.online.VerifiedCount() < s.cfg.RetrainAfter {
+		return
+	}
+	if !s.retraining.CompareAndSwap(false, true) {
+		return
+	}
+	s.retrainWG.Add(1)
+	go func() {
+		defer s.retrainWG.Done()
+		defer s.retraining.Store(false)
+		if s.online.Retrain(s.cfg.RetrainEpochs) > 0 {
+			s.retrains.Add(1)
+		}
+	}()
+}
+
+// Resolve applies an expert verdict to a final alert: false alarms
+// rejoin the training pool (§5.2), confirmed anomalies never do.
+func (s *Service) Resolve(id int64, verdict string) error {
+	var status string
+	switch verdict {
+	case StatusFalseAlarm, "false-alarm":
+		status = StatusFalseAlarm
+	case StatusConfirmed:
+		status = StatusConfirmed
+	default:
+		return ErrInvalid
+	}
+	da, err := s.alerts.resolve(id, status)
+	if err != nil {
+		return err
+	}
+	if da != nil {
+		if status == StatusFalseAlarm {
+			s.online.ResolveFalseAlarm(da)
+		} else {
+			s.online.ResolveConfirmed(da)
+		}
+	}
+	s.maybeRetrain()
+	return nil
+}
+
+// Alerts lists alerts, optionally filtered by status.
+func (s *Service) Alerts(status string) []Alert { return s.alerts.list(status) }
+
+// Drain blocks until every accepted scoring job has completed (test and
+// benchmark aid; quiesce ingestion first).
+func (s *Service) Drain() { s.engine.Drain() }
+
+// Online exposes the wrapped detection loop (expert tooling, tests).
+func (s *Service) Online() *detect.Online { return s.online }
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	EventsAccepted    int64 `json:"events_accepted"`
+	EventsRejected    int64 `json:"events_rejected"`
+	OpsScored         int64 `json:"ops_scored"`
+	MidSessionFlags   int64 `json:"mid_session_flags"`
+	SessionsOpen      int   `json:"sessions_open"`
+	SessionsClosed    int64 `json:"sessions_closed"`
+	SessionsProcessed int   `json:"sessions_processed"`
+	SessionsFlagged   int   `json:"sessions_flagged"`
+	AlertsOpen        int   `json:"alerts_open"`
+	VerifiedPool      int   `json:"verified_pool"`
+	Retrains          int64 `json:"retrains"`
+	QueueDepth        int   `json:"queue_depth"`
+	Workers           int   `json:"workers"`
+}
+
+// Stats snapshots the serving counters.
+func (s *Service) Stats() Stats {
+	scored, _ := s.engine.Counts()
+	_, closed := s.asm.Counts()
+	processed, flagged := s.online.Stats()
+	return Stats{
+		EventsAccepted:    s.accepted.Load(),
+		EventsRejected:    s.rejected.Load(),
+		OpsScored:         scored,
+		MidSessionFlags:   s.midFlags.Load(),
+		SessionsOpen:      s.asm.OpenCount(),
+		SessionsClosed:    closed,
+		SessionsProcessed: processed,
+		SessionsFlagged:   flagged,
+		AlertsOpen:        s.alerts.openCount(),
+		VerifiedPool:      s.online.VerifiedCount(),
+		Retrains:          s.retrains.Load(),
+		QueueDepth:        s.engine.QueueDepth(),
+		Workers:           s.cfg.Workers,
+	}
+}

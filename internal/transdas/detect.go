@@ -10,8 +10,30 @@ import (
 // ScoreNext feeds the (up to L most recent) preceding keys through the
 // model and returns sim[k] = sigmoid(O_last · M(k)) for every statement
 // key (Eq. 10); sim[0] (the k0 slot) is always 0. The returned slice has
-// cfg.Vocab entries.
+// cfg.Vocab entries. An empty context yields all-zero similarities: with
+// no preceding operations there is no contextual intent to compare
+// against.
 func (m *Model) ScoreNext(preceding []int) []float64 {
+	return m.ScoreNextInto(nil, preceding)
+}
+
+// ScoreNextInto is ScoreNext writing into buf when cap(buf) >= cfg.Vocab,
+// allocating only otherwise. Serving hot paths call it in a loop with one
+// reused buffer so scoring an operation costs zero heap allocations for
+// the similarity vector.
+func (m *Model) ScoreNextInto(buf []float64, preceding []int) []float64 {
+	var sims []float64
+	if cap(buf) >= m.cfg.Vocab {
+		sims = buf[:m.cfg.Vocab]
+		for i := range sims {
+			sims[i] = 0
+		}
+	} else {
+		sims = make([]float64, m.cfg.Vocab)
+	}
+	if len(preceding) == 0 {
+		return sims
+	}
 	if len(preceding) > m.cfg.Window {
 		preceding = preceding[len(preceding)-m.cfg.Window:]
 	}
@@ -20,7 +42,6 @@ func (m *Model) ScoreNext(preceding []int) []float64 {
 	last := out.Value.Row(out.Value.Rows - 1)
 
 	table := m.emb.Table.Value
-	sims := make([]float64, m.cfg.Vocab)
 	for k := 1; k < m.cfg.Vocab; k++ {
 		row := table.Row(k)
 		var dot float64
@@ -34,9 +55,16 @@ func (m *Model) ScoreNext(preceding []int) []float64 {
 
 // RankOf returns the 1-based similarity rank of key among all keys given
 // the preceding context (rank 1 = most similar to the predicted intent).
-// A PadKey or out-of-vocabulary key ranks last (Vocab).
+// A PadKey or out-of-vocabulary key ranks last (Vocab). With an empty
+// context every in-vocabulary key ranks 1 (no evidence of anomaly).
 func (m *Model) RankOf(preceding []int, key int) int {
-	sims := m.ScoreNext(preceding)
+	return m.RankOfInto(nil, preceding, key)
+}
+
+// RankOfInto is RankOf with a caller-supplied similarity buffer (see
+// ScoreNextInto).
+func (m *Model) RankOfInto(buf []float64, preceding []int, key int) int {
+	sims := m.ScoreNextInto(buf, preceding)
 	if key <= 0 || key >= len(sims) {
 		return len(sims)
 	}
@@ -71,8 +99,9 @@ func (m *Model) TopKeys(preceding []int, p int) []int {
 // top p (anomalies). Unknown statements (PadKey) are always anomalous.
 func (m *Model) DetectSession(keys []int) []int {
 	var anomalies []int
+	buf := make([]float64, m.cfg.Vocab)
 	for t := m.cfg.MinContext; t < len(keys); t++ {
-		if m.RankOf(keys[:t], keys[t]) > m.cfg.TopP {
+		if m.RankOfInto(buf, keys[:t], keys[t]) > m.cfg.TopP {
 			anomalies = append(anomalies, t)
 		}
 	}
@@ -82,8 +111,9 @@ func (m *Model) DetectSession(keys []int) []int {
 // IsAnomalous reports whether any operation in the session fails the
 // top-p test — the session-level flag used for the paper's metrics.
 func (m *Model) IsAnomalous(keys []int) bool {
+	buf := make([]float64, m.cfg.Vocab)
 	for t := m.cfg.MinContext; t < len(keys); t++ {
-		if m.RankOf(keys[:t], keys[t]) > m.cfg.TopP {
+		if m.RankOfInto(buf, keys[:t], keys[t]) > m.cfg.TopP {
 			return true
 		}
 	}

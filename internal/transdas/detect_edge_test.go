@@ -1,0 +1,119 @@
+package transdas
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Edge cases of the detection API: empty preceding context, p beyond the
+// vocabulary, out-of-vocabulary keys and sessions shorter than
+// MinContext. These are the inputs a live serving layer feeds the model
+// before a session has accumulated history.
+
+func TestScoreNextEmptyContext(t *testing.T) {
+	m := New(testConfig())
+	sims := m.ScoreNext(nil)
+	if len(sims) != m.cfg.Vocab {
+		t.Fatalf("sims length = %d, want %d", len(sims), m.cfg.Vocab)
+	}
+	for k, s := range sims {
+		if s != 0 {
+			t.Fatalf("sim[%d] = %v, want 0 for empty context", k, s)
+		}
+	}
+}
+
+func TestRankOfEmptyContext(t *testing.T) {
+	m := New(testConfig())
+	if got := m.RankOf(nil, 1); got != 1 {
+		t.Fatalf("in-vocab key with empty context ranks %d, want 1", got)
+	}
+	if got := m.RankOf([]int{}, m.cfg.Vocab-1); got != 1 {
+		t.Fatalf("in-vocab key with empty context ranks %d, want 1", got)
+	}
+}
+
+func TestRankOfOutOfVocabulary(t *testing.T) {
+	m := trainToy(t)
+	ctx := []int{1, 2, 3}
+	for _, key := range []int{0, -3, m.cfg.Vocab, m.cfg.Vocab + 7} {
+		if got := m.RankOf(ctx, key); got != m.cfg.Vocab {
+			t.Fatalf("RankOf(ctx, %d) = %d, want last rank %d", key, got, m.cfg.Vocab)
+		}
+	}
+}
+
+func TestTopKeysPBeyondVocab(t *testing.T) {
+	m := trainToy(t)
+	ctx := []int{1, 2, 3}
+	keys := m.TopKeys(ctx, m.cfg.Vocab+10)
+	// All valid statement keys, each exactly once.
+	if len(keys) != m.cfg.Vocab-1 {
+		t.Fatalf("got %d keys, want all %d", len(keys), m.cfg.Vocab-1)
+	}
+	seen := make(map[int]bool)
+	for _, k := range keys {
+		if k < 1 || k >= m.cfg.Vocab || seen[k] {
+			t.Fatalf("invalid or duplicate key %d in %v", k, keys)
+		}
+		seen[k] = true
+	}
+}
+
+func TestDetectSessionShorterThanMinContext(t *testing.T) {
+	m := New(testConfig()) // MinContext = 2
+	for _, keys := range [][]int{nil, {}, {1}, {1, 2}} {
+		if got := m.DetectSession(keys); len(got) != 0 {
+			t.Fatalf("DetectSession(%v) = %v, want none", keys, got)
+		}
+	}
+	if m.IsAnomalous([]int{1}) {
+		t.Fatal("single-op session must not be anomalous")
+	}
+}
+
+func TestDetectSessionZeroMinContext(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinContext = 0
+	m := New(cfg)
+	// The first operation is judged against an empty context; it must
+	// not panic, and an in-vocabulary first key ranks 1 (never flagged).
+	if got := m.DetectSession([]int{1, 2}); len(got) > 2 {
+		t.Fatalf("unexpected positions %v", got)
+	}
+	// An out-of-vocabulary first key still flags position 0.
+	got := m.DetectSession([]int{0, 1})
+	if len(got) == 0 || got[0] != 0 {
+		t.Fatalf("OOV first op not flagged: %v", got)
+	}
+}
+
+func TestScoreNextIntoReusesBuffer(t *testing.T) {
+	m := trainToy(t)
+	rng := rand.New(rand.NewSource(3))
+	buf := make([]float64, m.cfg.Vocab)
+	for trial := 0; trial < 5; trial++ {
+		ctx := make([]int, 3+rng.Intn(6))
+		for i := range ctx {
+			ctx[i] = 1 + rng.Intn(m.cfg.Vocab-1)
+		}
+		want := m.ScoreNext(ctx)
+		got := m.ScoreNextInto(buf, ctx)
+		if &got[0] != &buf[0] {
+			t.Fatal("ScoreNextInto did not reuse the supplied buffer")
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d: sim[%d] = %v via buffer, %v allocating", trial, k, got[k], want[k])
+			}
+		}
+		if m.RankOfInto(buf, ctx, 1) != m.RankOf(ctx, 1) {
+			t.Fatal("RankOfInto disagrees with RankOf")
+		}
+	}
+	// A too-small buffer must still work (allocating path).
+	small := make([]float64, 1)
+	if got := m.ScoreNextInto(small, []int{1, 2}); len(got) != m.cfg.Vocab {
+		t.Fatalf("small-buffer path returned %d sims", len(got))
+	}
+}

@@ -1,6 +1,7 @@
 package transdas
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -17,7 +18,14 @@ func (m *Model) Save(w io.Writer) error {
 }
 
 // Load reconstructs a model saved by Save.
+//
+// The stream holds several consecutive gob messages; unless r reads
+// byte-exact (implements io.ByteReader), each gob.Decoder would buffer
+// past its own messages and misalign the next section, so wrap once.
 func Load(r io.Reader) (*Model, error) {
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
 	var cfg Config
 	if err := gob.NewDecoder(r).Decode(&cfg); err != nil {
 		return nil, fmt.Errorf("transdas: decode config: %w", err)
