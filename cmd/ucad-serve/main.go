@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ucad-serve -model ucad.model [-addr :8844] [-workers 4]
+//	ucad-serve -model ucad.model [-addr :8844] [-workers 4] [-pprof]
 //
 // API:
 //
@@ -14,7 +14,9 @@
 //	GET  /v1/alerts?status=open  flagged sessions awaiting expert review
 //	POST /v1/alerts/{id}/resolve {"verdict":"false_alarm"|"confirmed"}
 //	GET  /healthz                liveness
-//	GET  /stats                  serving counters
+//	GET  /stats                  serving counters (JSON)
+//	GET  /metrics                Prometheus text exposition (latency histograms, counters, gauges)
+//	GET  /debug/pprof/           Go profiling endpoints (only with -pprof)
 //
 // Train a model first with `ucad train` (see cmd/ucad).
 package main
@@ -24,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +46,9 @@ func main() {
 	sweep := flag.Duration("sweep-every", 15*time.Second, "idle close-out sweep period")
 	retrainAfter := flag.Int("retrain-after", 0, "fine-tune when the verified pool reaches this many sessions (0 disables)")
 	retrainEpochs := flag.Int("retrain-epochs", 2, "epochs per fine-tune round")
+	maxResolved := flag.Int("max-resolved-alerts", 4096, "resolved alerts retained in memory (negative = unbounded)")
+	resolvedTTL := flag.Duration("resolved-alert-ttl", 24*time.Hour, "evict resolved alerts after this age (negative disables)")
+	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/")
 	flag.Parse()
 
 	mf, err := os.Open(*modelPath)
@@ -54,21 +60,40 @@ func main() {
 	fmt.Printf("model loaded: vocab=%d window=%d top-p=%d\n", mcfg.Vocab, mcfg.Window, mcfg.TopP)
 
 	svc := serve.NewService(u, serve.Config{
-		Workers:       *workers,
-		QueueSize:     *queue,
-		Batch:         *batch,
-		IdleTimeout:   *idle,
-		SweepEvery:    *sweep,
-		RetrainAfter:  *retrainAfter,
-		RetrainEpochs: *retrainEpochs,
+		Workers:           *workers,
+		QueueSize:         *queue,
+		Batch:             *batch,
+		IdleTimeout:       *idle,
+		SweepEvery:        *sweep,
+		RetrainAfter:      *retrainAfter,
+		RetrainEpochs:     *retrainEpochs,
+		MaxResolvedAlerts: *maxResolved,
+		ResolvedAlertTTL:  *resolvedTTL,
 	})
 	svc.Start()
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if *pprofOn {
+		// Explicit registration keeps the profiling surface off unless
+		// asked for — no blanket net/http/pprof DefaultServeMux import.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("serving on %s with %d workers (queue %d, idle timeout %s)\n",
 		*addr, *workers, *queue, *idle)
+	fmt.Printf("observability: GET /metrics (Prometheus text)")
+	if *pprofOn {
+		fmt.Printf(", GET /debug/pprof/")
+	}
+	fmt.Println()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/ucad/ucad/internal/core"
+	"github.com/ucad/ucad/internal/obs"
 	"github.com/ucad/ucad/internal/session"
 )
 
@@ -49,6 +50,7 @@ func runTrain(args []string) {
 	hidden := fs.Int("hidden", 0, "override latent dimension h")
 	skipClean := fs.Bool("skip-clean", false, "disable clustering-based noise removal")
 	seed := fs.Int64("seed", 1, "random seed")
+	metricsOut := fs.String("metrics-out", "", "write training metrics (Prometheus text format) to this file")
 	fs.Parse(args)
 	if *logPath == "" {
 		fs.Usage()
@@ -79,14 +81,40 @@ func runTrain(args []string) {
 		}
 	}
 
+	// Training instrumentation: the same obs gauges the serving layer
+	// exports feed the progress printout, and -metrics-out persists the
+	// final exposition for offline comparison of training runs.
+	reg := obs.NewRegistry()
+	epochLoss := reg.Gauge("ucad_train_epoch_loss", "Mean per-position loss of the most recent epoch.")
+	epochsTotal := reg.Counter("ucad_train_epochs_total", "Training epochs completed.")
+	epochSeconds := reg.Histogram("ucad_train_epoch_seconds", "Wall-clock duration per training epoch.",
+		obs.ExponentialBuckets(0.01, 4, 8))
+
 	start := time.Now()
+	lastEpoch := start
 	u, err := core.TrainFromLog(cfg, f, func(epoch int, loss float64) {
-		fmt.Printf("epoch %3d  loss %.5f\n", epoch+1, loss)
+		now := time.Now()
+		epochLoss.Set(loss)
+		epochsTotal.Inc()
+		epochSeconds.Observe(now.Sub(lastEpoch).Seconds())
+		lastEpoch = now
+		fmt.Printf("epoch %3d  loss %.5f\n", epoch+1, epochLoss.Value())
 	})
 	fatalIf(err)
 	fmt.Printf("trained on %d templates in %s (noise removal: %d -> %d sessions)\n",
 		u.Vocab.Size()-1, time.Since(start).Round(time.Millisecond),
 		u.Report.Input, u.Report.Output)
+	if n := epochsTotal.Value(); n > 0 {
+		fmt.Printf("epochs %d  final loss %.5f  median epoch %s\n",
+			n, epochLoss.Value(), time.Duration(epochSeconds.Quantile(0.5)*float64(time.Second)).Round(time.Millisecond))
+	}
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		fatalIf(err)
+		fatalIf(reg.WriteText(mf))
+		fatalIf(mf.Close())
+		fmt.Println("training metrics written to", *metricsOut)
+	}
 
 	out, err := os.Create(*modelPath)
 	fatalIf(err)

@@ -250,7 +250,7 @@ func TestFineTune(t *testing.T) {
 	u, g, _ := trainSmall(t)
 	// Fine-tuning on fresh normal sessions must not explode FPR.
 	fresh := g.GenerateSessions(10)
-	u.FineTune(fresh, 2)
+	u.FineTune(fresh, 2, nil)
 	fp := 0
 	for _, s := range g.GenerateSessions(10) {
 		if u.IsAnomalous(s) {

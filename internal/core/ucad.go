@@ -125,7 +125,10 @@ func (u *UCAD) IsAnomalous(s *session.Session) bool {
 }
 
 // FineTune absorbs verified-normal sessions (concept drift, §5.2).
-func (u *UCAD) FineTune(sessions []*session.Session, epochs int) {
+// progress, if non-nil, is called after every epoch; the returned
+// TrainResult carries per-epoch losses and the window count for
+// training instrumentation.
+func (u *UCAD) FineTune(sessions []*session.Session, epochs int, progress func(epoch int, loss float64)) transdas.TrainResult {
 	keySeqs := make([][]int, 0, len(sessions))
 	for _, s := range sessions {
 		keys := make([]int, len(s.Ops))
@@ -134,7 +137,7 @@ func (u *UCAD) FineTune(sessions []*session.Session, epochs int) {
 		}
 		keySeqs = append(keySeqs, keys)
 	}
-	u.Model.FineTune(keySeqs, epochs)
+	return u.Model.FineTune(keySeqs, epochs, progress)
 }
 
 // Save persists the vocabulary and model.

@@ -7,6 +7,7 @@ package detect
 
 import (
 	"sync"
+	"time"
 
 	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/session"
@@ -39,6 +40,51 @@ type Online struct {
 
 	processed int
 	flagged   int
+
+	hooks TrainHooks
+}
+
+// RetrainStats summarizes one completed fine-tune round for
+// instrumentation: how much was absorbed, how long it took, and where
+// the loss landed.
+type RetrainStats struct {
+	// Sessions is the number of verified sessions absorbed.
+	Sessions int
+	// Windows is the number of training windows per epoch.
+	Windows int
+	// Epochs is the number of epochs actually run.
+	Epochs int
+	// FinalLoss is the last epoch's mean per-position loss (0 when no
+	// window trained).
+	FinalLoss float64
+	// Duration is the wall-clock fine-tune time, model lock included.
+	Duration time.Duration
+}
+
+// WindowsPerSecond is the training throughput of the round
+// (windows × epochs / duration); 0 when the round was instantaneous.
+func (s RetrainStats) WindowsPerSecond() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Windows*s.Epochs) / s.Duration.Seconds()
+}
+
+// TrainHooks receives training progress from Retrain. Epoch fires after
+// every fine-tune epoch (from the retraining goroutine, while the model
+// lock is held — keep it cheap, e.g. a gauge store); Done fires once
+// per completed round. Either may be nil.
+type TrainHooks struct {
+	Epoch func(epoch int, loss float64)
+	Done  func(RetrainStats)
+}
+
+// SetTrainHooks installs training instrumentation; call before the
+// first Retrain.
+func (o *Online) SetTrainHooks(h TrainHooks) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.hooks = h
 }
 
 // NewOnline wraps a trained detector.
@@ -119,13 +165,27 @@ func (o *Online) Retrain(epochs int) int {
 	o.mu.Lock()
 	pool := o.verified
 	o.verified = nil
+	hooks := o.hooks
 	o.mu.Unlock()
 	if len(pool) == 0 {
 		return 0
 	}
+	start := time.Now()
 	o.modelMu.Lock()
-	o.ucad.FineTune(pool, epochs)
+	res := o.ucad.FineTune(pool, epochs, hooks.Epoch)
 	o.modelMu.Unlock()
+	if hooks.Done != nil {
+		st := RetrainStats{
+			Sessions: len(pool),
+			Windows:  res.Windows,
+			Epochs:   len(res.EpochLoss),
+			Duration: time.Since(start),
+		}
+		if n := len(res.EpochLoss); n > 0 {
+			st.FinalLoss = res.EpochLoss[n-1]
+		}
+		hooks.Done(st)
+	}
 	return len(pool)
 }
 

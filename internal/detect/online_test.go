@@ -89,6 +89,56 @@ func TestOnlineLoop(t *testing.T) {
 	}
 }
 
+// TestTrainHooksFireOnRetrain checks the training instrumentation
+// contract: Epoch fires once per fine-tune epoch with the epoch loss,
+// Done fires once per round with the absorbed pool size, window count
+// and a positive wall-clock duration.
+func TestTrainHooksFireOnRetrain(t *testing.T) {
+	u, g := trainedUCAD(t)
+	o := NewOnline(u)
+	var epochs []float64
+	var dones []RetrainStats
+	o.SetTrainHooks(TrainHooks{
+		Epoch: func(epoch int, loss float64) { epochs = append(epochs, loss) },
+		Done:  func(st RetrainStats) { dones = append(dones, st) },
+	})
+
+	// An empty pool must not fire Done.
+	if o.Retrain(2) != 0 || len(dones) != 0 {
+		t.Fatal("empty-pool retrain fired hooks")
+	}
+
+	for _, s := range g.GenerateSessions(4) {
+		o.Process(s)
+	}
+	pool := o.VerifiedCount()
+	if pool == 0 {
+		t.Skip("every generated session was flagged; nothing to retrain")
+	}
+	if absorbed := o.Retrain(2); absorbed != pool {
+		t.Fatalf("absorbed %d, want %d", absorbed, pool)
+	}
+	if len(epochs) != 2 {
+		t.Fatalf("Epoch hook fired %d times, want 2", len(epochs))
+	}
+	if len(dones) != 1 {
+		t.Fatalf("Done hook fired %d times, want 1", len(dones))
+	}
+	st := dones[0]
+	if st.Sessions != pool || st.Epochs != 2 || st.Windows == 0 {
+		t.Fatalf("RetrainStats %+v, want sessions=%d epochs=2 windows>0", st, pool)
+	}
+	if st.Duration <= 0 {
+		t.Fatalf("duration %v, want > 0", st.Duration)
+	}
+	if st.FinalLoss != epochs[len(epochs)-1] {
+		t.Fatalf("FinalLoss %v != last epoch loss %v", st.FinalLoss, epochs[len(epochs)-1])
+	}
+	if st.WindowsPerSecond() <= 0 {
+		t.Fatalf("windows/sec %v, want > 0", st.WindowsPerSecond())
+	}
+}
+
 // TestOnlineConcurrentProcessRetrain interleaves scoring and
 // fine-tuning from independent goroutines; the model RWMutex must keep
 // this race-free (run under -race).

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format media type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in Prometheus text
+// exposition format 0.0.4, families sorted by name and children by
+// label values, so the output is deterministic for a given state.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.snapshot() {
+		if e.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(e.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(e.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(e.name)
+		bw.WriteByte(' ')
+		bw.WriteString(e.typ)
+		bw.WriteByte('\n')
+		e.m.writeTo(bw, e.name)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry as a scrape endpoint (GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteText(w)
+	})
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// formatFloat renders a sample value: shortest round-trip decimal, with
+// the exposition spellings for infinities and NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative counter Add must panic")
+			}
+		}()
+		c.Add(-1)
+	}()
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(1)
+	g.Dec()
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndBadNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	for _, fn := range []func(){
+		func() { r.Gauge("ok_total", "") },        // duplicate, different type
+		func() { r.Counter("1bad", "") },          // leading digit
+		func() { r.Counter("bad-name", "") },      // dash
+		func() { r.CounterVec("v_total", "", "bad label") }, // invalid label
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("registration must panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("req_total", "", "code", "method")
+	a := cv.With("200", "GET")
+	b := cv.With("200", "GET")
+	if a != b {
+		t.Fatal("same label values must return the same child")
+	}
+	if cv.With("500", "GET") == a {
+		t.Fatal("different label values must return distinct children")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatal("shared child state lost")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("label arity mismatch must panic")
+			}
+		}()
+		cv.With("200")
+	}()
+}
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 5, 7, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le semantics are inclusive: 0.5 and 1 land in le="1"; 1.5 and 2 in
+	// le="2"; 3 and 5 in le="5"; 7 and 100 overflow to +Inf.
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if math.Abs(s.Sum-120) > 1e-9 {
+		t.Fatalf("sum = %v, want 120", s.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", LinearBuckets(10, 10, 10)) // 10,20,...,100
+	// 1000 observations uniform over (0, 100]: quantiles interpolate to
+	// q*100 exactly.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50}, {0.9, 90}, {0.99, 99}, {1, 100},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 0.2 {
+			t.Fatalf("Quantile(%v) = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+	// Overflow observations clamp to the highest finite bound.
+	h2 := r.Histogram("q2", "", []float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2 (clamped)", got)
+	}
+	h3 := r.Histogram("q3", "", []float64{1})
+	if !math.IsNaN(h3.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	if !math.IsNaN(h3.Quantile(1.5)) {
+		t.Fatal("out-of-range q must be NaN")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{0.5, 1})
+	cv := r.CounterVec("cv_total", "", "worker")
+
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%2))
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%2) + 0.25) // alternates buckets
+				cv.With(lbl).Inc()
+				if i%64 == 0 { // scrape concurrently with writes
+					var sb strings.Builder
+					r.WriteText(&sb)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(goroutines * perG)
+	if c.Value() != total {
+		t.Fatalf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != float64(total) {
+		t.Fatalf("gauge = %v, want %d", g.Value(), total)
+	}
+	if h.Count() != uint64(total) {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), total)
+	}
+	s := h.Snapshot()
+	// Observations alternate 0.25 (le="0.5" bucket) and 1.25 (+Inf
+	// overflow bucket).
+	if s.Counts[0] != uint64(total)/2 || s.Counts[2] != uint64(total)/2 {
+		t.Fatalf("bucket split %v, want even halves in buckets 0 and +Inf", s.Counts)
+	}
+	if cv.With("a").Value()+cv.With("b").Value() != total {
+		t.Fatal("vec children lost increments")
+	}
+}
+
+func TestTimerObservesSeconds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t", "", []float64{0.001, 1})
+	tm := StartTimer(h)
+	time.Sleep(time.Millisecond)
+	d := tm.Stop()
+	if d < time.Millisecond {
+		t.Fatalf("elapsed %v, want >= 1ms", d)
+	}
+	if h.Count() != 1 || h.Sum() < 0.001 {
+		t.Fatalf("timer did not observe: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	// nil-observer timers are pure stopwatches.
+	if StartTimer(nil).Stop() < 0 {
+		t.Fatal("stopwatch went backwards")
+	}
+
+	g := r.Gauge("last", "")
+	GaugeObserver{G: g}.Observe(3.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("gauge observer = %v", g.Value())
+	}
+}
+
+func TestCounterAndGaugeFuncs(t *testing.T) {
+	r := NewRegistry()
+	n := int64(7)
+	r.CounterFunc("ext_total", "", func() int64 { return n })
+	r.GaugeFunc("ext", "", func() float64 { return float64(n) * 0.5 })
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ext_total 7\n", "ext 3.5\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	n = 9 // funcs re-read at scrape time
+	sb.Reset()
+	r.WriteText(&sb)
+	if !strings.Contains(sb.String(), "ext_total 9\n") {
+		t.Fatal("CounterFunc not re-read at scrape time")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	exp := ExponentialBuckets(0.5, 4, 3)
+	if exp[0] != 0.5 || exp[1] != 2 || exp[2] != 8 {
+		t.Fatalf("ExponentialBuckets = %v", exp)
+	}
+	// Trailing +Inf is accepted and made implicit.
+	h := newHistogram([]float64{1, math.Inf(1)})
+	h.Observe(2)
+	if got := h.Snapshot(); len(got.Buckets) != 1 || got.Counts[1] != 1 {
+		t.Fatalf("explicit +Inf bucket mishandled: %+v", got)
+	}
+}

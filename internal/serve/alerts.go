@@ -43,6 +43,12 @@ type Alert struct {
 // alertStore indexes alerts by id and by open session. It also
 // remembers recently finalized sessions so late scoring results for a
 // closed session do not spawn orphan alerts.
+//
+// Resolved alerts are retention-bounded: once an expert verdict lands,
+// the alert joins a FIFO eviction queue and is dropped when the queue
+// exceeds maxResolved entries or the alert outlives resolvedTTL —
+// open (unresolved) alerts are never evicted, so nothing awaiting
+// review can disappear.
 type alertStore struct {
 	mu        sync.Mutex
 	nextID    int64
@@ -50,14 +56,25 @@ type alertStore struct {
 	bySession map[string]*Alert
 	finalized *ringSet
 	now       func() time.Time
+
+	// maxResolved bounds retained resolved alerts (negative = unbounded);
+	// resolvedTTL ages them out (0 disables).
+	maxResolved int
+	resolvedTTL time.Duration
+	// resolvedIDs holds resolved alert ids in resolution order (FIFO
+	// eviction); evicted counts lifetime evictions.
+	resolvedIDs []int64
+	evicted     int64
 }
 
-func newAlertStore(now func() time.Time) *alertStore {
+func newAlertStore(now func() time.Time, maxResolved int, resolvedTTL time.Duration) *alertStore {
 	return &alertStore{
-		byID:      make(map[int64]*Alert),
-		bySession: make(map[string]*Alert),
-		finalized: newRingSet(4096),
-		now:       now,
+		byID:        make(map[int64]*Alert),
+		bySession:   make(map[string]*Alert),
+		finalized:   newRingSet(4096),
+		now:         now,
+		maxResolved: maxResolved,
+		resolvedTTL: resolvedTTL,
 	}
 }
 
@@ -149,7 +166,61 @@ func (st *alertStore) resolve(id int64, status string) (*detect.Alert, error) {
 	a.UpdatedAt = st.now()
 	da := a.da
 	a.da = nil
+	st.resolvedIDs = append(st.resolvedIDs, a.ID)
+	st.evictLocked()
 	return da, nil
+}
+
+// evictLocked enforces the resolved-alert retention bound: FIFO past
+// maxResolved, then anything older than resolvedTTL (UpdatedAt is the
+// resolution time, so the queue is in expiry order).
+func (st *alertStore) evictLocked() {
+	for st.maxResolved >= 0 && len(st.resolvedIDs) > st.maxResolved {
+		st.evictFrontLocked()
+	}
+	if st.resolvedTTL <= 0 {
+		return
+	}
+	cutoff := st.now().Add(-st.resolvedTTL)
+	for len(st.resolvedIDs) > 0 {
+		a := st.byID[st.resolvedIDs[0]]
+		if a == nil || a.UpdatedAt.After(cutoff) {
+			break
+		}
+		st.evictFrontLocked()
+	}
+}
+
+func (st *alertStore) evictFrontLocked() {
+	id := st.resolvedIDs[0]
+	st.resolvedIDs = st.resolvedIDs[1:]
+	if _, ok := st.byID[id]; ok {
+		delete(st.byID, id)
+		st.evicted++
+	}
+}
+
+// evictExpired applies the TTL bound outside a resolve call (the idle
+// sweeper drives it so resolved alerts age out even when no new
+// verdicts arrive).
+func (st *alertStore) evictExpired() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.evictLocked()
+}
+
+// raisedCount is the lifetime number of alerts ever created.
+func (st *alertStore) raisedCount() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.nextID
+}
+
+// evictedCount is the lifetime number of retention evictions.
+func (st *alertStore) evictedCount() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.evicted
 }
 
 // list returns alerts sorted by id; status "" means all.

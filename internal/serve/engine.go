@@ -3,6 +3,9 @@ package serve
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/ucad/ucad/internal/obs"
 )
 
 // Ranker scores one operation against its preceding context; the
@@ -24,6 +27,10 @@ type Job struct {
 	Pos int
 	// SQL is the scored statement text (carried into alerts).
 	SQL string
+
+	// enqueuedAt is stamped by Submit; workers derive the queue-wait
+	// latency from it.
+	enqueuedAt time.Time
 }
 
 // Result is a scored job.
@@ -54,6 +61,12 @@ type Engine struct {
 
 	scored   atomic.Int64
 	rejected atomic.Int64
+
+	// Optional stage instrumentation (nil when uninstrumented); set via
+	// instrument before any Submit.
+	queueWait *obs.Histogram
+	scoreLat  *obs.Histogram
+	batchSize *obs.Histogram
 }
 
 // NewEngine builds an engine with the given worker count, queue
@@ -88,6 +101,14 @@ func NewEngine(r Ranker, bufSize, workers, queueSize, batch int, onResult func(R
 	return e
 }
 
+// instrument attaches the per-stage latency histograms (queue wait,
+// score latency, micro-batch size). Call before the first Submit.
+func (e *Engine) instrument(queueWait, scoreLat, batchSize *obs.Histogram) {
+	e.queueWait = queueWait
+	e.scoreLat = scoreLat
+	e.batchSize = batchSize
+}
+
 // Submit enqueues a job, failing fast with ErrBusy when the queue is
 // full or ErrStopped after Stop.
 func (e *Engine) Submit(j Job) error {
@@ -96,6 +117,7 @@ func (e *Engine) Submit(j Job) error {
 	if e.closed {
 		return ErrStopped
 	}
+	j.enqueuedAt = time.Now()
 	e.inflight.Add(1)
 	select {
 	case e.queue <- j:
@@ -152,9 +174,25 @@ func (e *Engine) worker() {
 				break fill
 			}
 		}
+		if e.batchSize != nil {
+			e.batchSize.Observe(float64(len(batch)))
+		}
+		if e.queueWait != nil {
+			now := time.Now()
+			for _, job := range batch {
+				e.queueWait.Observe(now.Sub(job.enqueuedAt).Seconds())
+			}
+		}
 		for _, job := range batch {
 			n := len(job.Keys)
+			var t obs.Timer
+			if e.scoreLat != nil {
+				t = obs.StartTimer(e.scoreLat)
+			}
 			rank := e.ranker.RankAt(buf, job.Keys[:n-1], job.Keys[n-1])
+			if e.scoreLat != nil {
+				t.Stop()
+			}
 			e.scored.Add(1)
 			e.onResult(Result{Job: job, Rank: rank})
 			e.inflight.Done()

@@ -13,7 +13,8 @@ import (
 //	GET  /v1/alerts[?status=s]   list alerts (open|false_alarm|confirmed)
 //	POST /v1/alerts/{id}/resolve apply an expert verdict
 //	GET  /healthz                liveness probe
-//	GET  /stats                  serving counters
+//	GET  /stats                  serving counters (JSON)
+//	GET  /metrics                Prometheus text exposition
 //
 // A full scoring queue answers 503 with Retry-After — the backpressure
 // contract: the rejected events were rolled back and are safe to
@@ -29,6 +30,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.Handle("GET /metrics", s.metrics.Registry.Handler())
 	return mux
 }
 

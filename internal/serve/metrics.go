@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"github.com/ucad/ucad/internal/obs"
+)
+
+// Metrics is the serving layer's instrumentation, scraped from
+// GET /metrics in Prometheus text format.
+//
+// It splits along the two obs registration styles: per-stage latency
+// histograms and training gauges are owned instruments updated on the
+// hot paths, while the lifetime counters (events, scored ops, sessions,
+// alerts, retrains) are func-backed reads of the same atomics that
+// Service.Stats snapshots — /stats and /metrics cannot disagree because
+// they share one source of truth.
+//
+// A Metrics binds to exactly one Service (NewService panics via the
+// registry on a second bind, since the func-backed names would
+// collide).
+type Metrics struct {
+	// Registry carries every family; expose it with Registry.Handler().
+	Registry *obs.Registry
+
+	// Stage-latency histograms (seconds).
+	ingestSeconds    *obs.Histogram
+	queueWaitSeconds *obs.Histogram
+	scoreSeconds     *obs.Histogram
+	closeoutSeconds  *obs.Histogram
+	retrainSeconds   *obs.Histogram
+	// scoreBatchSize distributes jobs drained per worker pass.
+	scoreBatchSize *obs.Histogram
+
+	// alertsResolved counts expert verdicts by outcome.
+	alertsResolved *obs.CounterVec
+
+	// Training instrumentation, fed from detect.Online's hooks.
+	trainEpochLoss     *obs.Gauge
+	trainWindowsPerSec *obs.Gauge
+	trainEpochs        *obs.Counter
+}
+
+// NewMetrics registers the serving layer's owned instruments on reg
+// (nil means a fresh private registry). The func-backed families that
+// mirror a Service's live counters are added when the Metrics is handed
+// to NewService.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{
+		Registry: reg,
+		ingestSeconds: reg.Histogram("ucad_ingest_seconds",
+			"Latency of Service.Ingest: tokenize, assemble, enqueue for scoring.", obs.LatencyBuckets),
+		queueWaitSeconds: reg.Histogram("ucad_queue_wait_seconds",
+			"Time a scoring job waited in the queue before a worker picked it up.", obs.LatencyBuckets),
+		scoreSeconds: reg.Histogram("ucad_score_seconds",
+			"Latency of one incremental top-p scoring pass (model forward).", obs.LatencyBuckets),
+		closeoutSeconds: reg.Histogram("ucad_closeout_seconds",
+			"Latency of full-session close-out detection per closed session.", obs.LatencyBuckets),
+		retrainSeconds: reg.Histogram("ucad_retrain_seconds",
+			"Wall-clock duration of one background fine-tune round.",
+			obs.ExponentialBuckets(0.01, 4, 8)),
+		scoreBatchSize: reg.Histogram("ucad_score_batch_size",
+			"Jobs drained per scoring-worker micro-batch pass.",
+			obs.ExponentialBuckets(1, 2, 8)),
+		alertsResolved: reg.CounterVec("ucad_alerts_resolved_total",
+			"Expert verdicts applied to final alerts, by outcome.", "verdict"),
+		trainEpochLoss: reg.Gauge("ucad_train_epoch_loss",
+			"Mean per-position loss of the most recent fine-tune epoch."),
+		trainWindowsPerSec: reg.Gauge("ucad_train_windows_per_second",
+			"Training throughput of the most recent fine-tune round."),
+		trainEpochs: reg.Counter("ucad_train_epochs_total",
+			"Fine-tune epochs completed since start."),
+	}
+}
+
+// bind registers the func-backed families that read the service's live
+// counters at scrape time — the single-source-of-truth bridge between
+// /stats and /metrics.
+func (m *Metrics) bind(s *Service) {
+	reg := m.Registry
+	reg.CounterFunc("ucad_events_accepted_total",
+		"Events absorbed into open sessions.", s.accepted.Load)
+	reg.CounterFunc("ucad_events_rejected_total",
+		"Events rejected with backpressure (scoring queue full).", s.rejected.Load)
+	reg.CounterFunc("ucad_ops_scored_total",
+		"Operations scored by the worker pool.",
+		func() int64 { scored, _ := s.engine.Counts(); return scored })
+	reg.CounterFunc("ucad_ops_rejected_total",
+		"Scoring jobs refused by a full queue.",
+		func() int64 { _, rejected := s.engine.Counts(); return rejected })
+	reg.CounterFunc("ucad_flags_mid_session_total",
+		"Operations flagged while their session was still open.", s.midFlags.Load)
+	reg.CounterFunc("ucad_flags_late_total",
+		"Flags that arrived after their session was finalized (dropped).", s.lateFlags.Load)
+	reg.CounterFunc("ucad_sessions_opened_total",
+		"Sessions opened by the assembler.",
+		func() int64 { opened, _ := s.asm.Counts(); return opened })
+	reg.CounterFunc("ucad_sessions_closed_total",
+		"Sessions closed by idle timeout or shutdown flush.",
+		func() int64 { _, closed := s.asm.Counts(); return closed })
+	reg.CounterFunc("ucad_sessions_processed_total",
+		"Closed sessions run through full-session detection.",
+		func() int64 { processed, _ := s.online.Stats(); return int64(processed) })
+	reg.CounterFunc("ucad_sessions_flagged_total",
+		"Closed sessions judged anomalous by close-out detection.",
+		func() int64 { _, flagged := s.online.Stats(); return int64(flagged) })
+	reg.CounterFunc("ucad_alerts_raised_total",
+		"Alerts ever created (mid-session or at close-out).",
+		s.alerts.raisedCount)
+	reg.CounterFunc("ucad_alerts_evicted_total",
+		"Resolved alerts evicted by the retention bound (max count or TTL).",
+		s.alerts.evictedCount)
+	reg.CounterFunc("ucad_retrains_total",
+		"Background fine-tune rounds completed.", s.retrains.Load)
+	reg.GaugeFunc("ucad_sessions_open",
+		"Currently open sessions.", func() float64 { return float64(s.asm.OpenCount()) })
+	reg.GaugeFunc("ucad_alerts_open",
+		"Alerts awaiting an expert verdict.", func() float64 { return float64(s.alerts.openCount()) })
+	reg.GaugeFunc("ucad_verified_pool",
+		"Verified-normal sessions awaiting the next fine-tune round.",
+		func() float64 { return float64(s.online.VerifiedCount()) })
+	reg.GaugeFunc("ucad_queue_depth",
+		"Scoring jobs queued but not yet picked up.",
+		func() float64 { return float64(s.engine.QueueDepth()) })
+	reg.GaugeFunc("ucad_scoring_workers",
+		"Size of the scoring worker pool.", func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("ucad_uptime_seconds",
+		"Seconds since the service was constructed.",
+		func() float64 { return s.cfg.Clock().Sub(s.start).Seconds() })
+}

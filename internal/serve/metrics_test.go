@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ucad/ucad/internal/obs"
+)
+
+// scrapeMetrics GETs a /metrics endpoint and parses every sample line
+// into series → value ("name{labels}" keys keep their label string).
+func scrapeMetrics(t *testing.T, url string) (map[string]float64, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out, body
+}
+
+// TestServiceMetricsScrapeEndToEnd is the observability acceptance
+// path: events stream in over HTTP, the worker pool scores them, and a
+// /metrics scrape must show the stage-latency histograms populated with
+// counts matching the pipeline's own accounting — and agree with
+// /stats, since both read the same counters.
+func TestServiceMetricsScrapeEndToEnd(t *testing.T) {
+	u := testUCAD(t)
+	clk := newFakeClock()
+	svc := NewService(u, Config{
+		Workers:     2,
+		QueueSize:   256,
+		Batch:       4,
+		IdleTimeout: 10 * time.Minute,
+		Clock:       clk.Now,
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	const clients, opsPerClient = 4, 12
+	for pos := 0; pos < opsPerClient; pos++ {
+		for c := 0; c < clients; c++ {
+			sql := normalStatement(pos)
+			if c == 0 && pos == 6 {
+				sql = anomalySQL
+			}
+			body, _ := json.Marshal(Event{ClientID: fmt.Sprintf("c%d", c), User: "app", SQL: sql})
+			resp, err := http.Post(ts.URL+"/v1/events", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("ingest status %d", resp.StatusCode)
+			}
+		}
+	}
+	svc.Drain()
+
+	m, body := scrapeMetrics(t, ts.URL+"/metrics")
+
+	// The exposition must carry all three family types.
+	for _, want := range []string{
+		"# TYPE ucad_events_accepted_total counter",
+		"# TYPE ucad_sessions_open gauge",
+		"# TYPE ucad_score_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	events := float64(clients * opsPerClient)
+	scored := float64(clients * (opsPerClient - u.Model.Config().MinContext))
+	checks := map[string]float64{
+		"ucad_events_accepted_total":    events,
+		"ucad_ingest_seconds_count":     events,
+		"ucad_ops_scored_total":         scored,
+		"ucad_queue_wait_seconds_count": scored,
+		"ucad_score_seconds_count":      scored,
+		"ucad_score_batch_size_sum":     scored, // batch sizes sum to jobs drained
+		"ucad_sessions_open":            clients,
+		"ucad_sessions_opened_total":    clients,
+		"ucad_flags_mid_session_total":  1,
+		"ucad_alerts_open":              1,
+		"ucad_alerts_raised_total":      1,
+		"ucad_events_rejected_total":    0,
+		"ucad_ops_rejected_total":       0,
+		"ucad_retrains_total":           0,
+	}
+	for series, want := range checks {
+		got, ok := m[series]
+		if !ok {
+			t.Fatalf("series %s missing from scrape", series)
+		}
+		if got != want {
+			t.Fatalf("%s = %v, want %v", series, got, want)
+		}
+	}
+	// Latency histograms carry real (positive) time.
+	for _, series := range []string{"ucad_ingest_seconds_sum", "ucad_score_seconds_sum"} {
+		if m[series] <= 0 {
+			t.Fatalf("%s = %v, want > 0", series, m[series])
+		}
+	}
+	// Cumulative bucket counts must reach the +Inf bucket.
+	if m[`ucad_score_seconds_bucket{le="+Inf"}`] != scored {
+		t.Fatalf("score +Inf bucket = %v, want %v", m[`ucad_score_seconds_bucket{le="+Inf"}`], scored)
+	}
+
+	// Close out every session and confirm the alert: the close-out
+	// histogram and the verdict-labelled counter populate.
+	clk.Advance(11 * time.Minute)
+	if n := svc.CloseIdleNow(); n != clients {
+		t.Fatalf("closed %d, want %d", n, clients)
+	}
+	alerts := svc.Alerts(StatusOpen)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	if err := svc.Resolve(alerts[0].ID, StatusConfirmed); err != nil {
+		t.Fatal(err)
+	}
+
+	m, _ = scrapeMetrics(t, ts.URL+"/metrics")
+	if m["ucad_closeout_seconds_count"] != clients {
+		t.Fatalf("closeout count = %v, want %d", m["ucad_closeout_seconds_count"], clients)
+	}
+	if m[`ucad_alerts_resolved_total{verdict="confirmed"}`] != 1 {
+		t.Fatal("confirmed verdict not counted")
+	}
+	if m["ucad_sessions_closed_total"] != clients || m["ucad_sessions_processed_total"] != clients {
+		t.Fatalf("session close-out counters: closed=%v processed=%v",
+			m["ucad_sessions_closed_total"], m["ucad_sessions_processed_total"])
+	}
+	if m["ucad_verified_pool"] != clients-1 {
+		t.Fatalf("verified pool = %v, want %d", m["ucad_verified_pool"], clients-1)
+	}
+
+	// /stats and /metrics read the same counters — spot-check the pairs.
+	st := svc.Stats()
+	pairs := []struct {
+		series string
+		stat   float64
+	}{
+		{"ucad_events_accepted_total", float64(st.EventsAccepted)},
+		{"ucad_ops_scored_total", float64(st.OpsScored)},
+		{"ucad_ops_rejected_total", float64(st.OpsRejected)},
+		{"ucad_sessions_open", float64(st.SessionsOpen)},
+		{"ucad_alerts_raised_total", float64(st.AlertsRaised)},
+		{"ucad_alerts_evicted_total", float64(st.AlertsEvicted)},
+		{"ucad_uptime_seconds", st.UptimeSeconds},
+	}
+	for _, p := range pairs {
+		if m[p.series] != p.stat {
+			t.Fatalf("%s = %v but Stats reports %v", p.series, m[p.series], p.stat)
+		}
+	}
+	if st.UptimeSeconds != (11 * time.Minute).Seconds() {
+		t.Fatalf("uptime = %v, want %v (fake clock advanced 11m)", st.UptimeSeconds, (11 * time.Minute).Seconds())
+	}
+	svc.Stop()
+}
+
+// TestAlertRetentionBounds exercises the resolved-alert eviction policy
+// at the store level: FIFO count bound, TTL aging, open alerts immune.
+func TestAlertRetentionBounds(t *testing.T) {
+	clk := newFakeClock()
+	st := newAlertStore(clk.Now, 2, time.Hour)
+
+	mk := func(i int) int64 {
+		sid := fmt.Sprintf("s%d", i)
+		st.flag(Result{Job: Job{Client: "c", User: "u", SessionID: sid, Pos: 3, SQL: "BAD"}, Rank: 99}, "u")
+		a := st.finalize(sid, "c", "u", nil, &mockDetectAlert)
+		return a.ID
+	}
+
+	// Three resolved alerts against a max of 2: the first resolved is
+	// evicted, FIFO.
+	var ids []int64
+	for i := 0; i < 3; i++ {
+		ids = append(ids, mk(i))
+		if _, err := st.resolve(ids[i], StatusConfirmed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.evictedCount() != 1 {
+		t.Fatalf("evicted = %d, want 1", st.evictedCount())
+	}
+	if got := st.list(""); len(got) != 2 || got[0].ID != ids[1] {
+		t.Fatalf("retained %+v, want ids %v", got, ids[1:])
+	}
+
+	// TTL aging: advance past the hour; a sweep evicts the remainder.
+	clk.Advance(2 * time.Hour)
+	st.evictExpired()
+	if st.evictedCount() != 3 {
+		t.Fatalf("evicted = %d, want 3 after TTL sweep", st.evictedCount())
+	}
+	if got := st.list(""); len(got) != 0 {
+		t.Fatalf("retained %+v, want none", got)
+	}
+
+	// Open (unresolved) alerts are never evicted, no matter their age.
+	openID := mk(99)
+	clk.Advance(48 * time.Hour)
+	st.evictExpired()
+	if got := st.list(""); len(got) != 1 || got[0].ID != openID {
+		t.Fatalf("open alert evicted: %+v", got)
+	}
+	if st.raisedCount() != 4 {
+		t.Fatalf("raised = %d, want 4", st.raisedCount())
+	}
+}
+
+// TestServiceAlertRetention drives retention through the Service: the
+// sweep path ages resolved alerts out and the stats/counters agree.
+func TestServiceAlertRetention(t *testing.T) {
+	u := testUCAD(t)
+	clk := newFakeClock()
+	svc := NewService(u, Config{
+		Workers:           1,
+		QueueSize:         64,
+		IdleTimeout:       time.Minute,
+		MaxResolvedAlerts: -1, // unbounded count; TTL only
+		ResolvedAlertTTL:  30 * time.Minute,
+		Clock:             clk.Now,
+	})
+	defer svc.Stop()
+
+	// One session with an anomaly, closed out and confirmed.
+	for pos := 0; pos < 8; pos++ {
+		sql := normalStatement(pos)
+		if pos == 5 {
+			sql = anomalySQL
+		}
+		if err := svc.Ingest(Event{ClientID: "c", User: "app", SQL: sql}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Drain()
+	clk.Advance(2 * time.Minute)
+	svc.CloseIdleNow()
+	alerts := svc.Alerts("")
+	if len(alerts) != 1 || !alerts[0].Final {
+		t.Fatalf("alerts %+v, want one final", alerts)
+	}
+	if err := svc.Resolve(alerts[0].ID, StatusConfirmed); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.AlertsEvicted != 0 {
+		t.Fatalf("premature eviction: %+v", st)
+	}
+
+	// Past the TTL, the idle sweep evicts the resolved alert.
+	clk.Advance(31 * time.Minute)
+	svc.CloseIdleNow()
+	st := svc.Stats()
+	if st.AlertsEvicted != 1 {
+		t.Fatalf("evicted = %d, want 1", st.AlertsEvicted)
+	}
+	if got := svc.Alerts(""); len(got) != 0 {
+		t.Fatalf("alerts after eviction %+v, want none", got)
+	}
+}
+
+// TestServiceRetrainMetrics confirms the training instrumentation path:
+// a background fine-tune populates the retrain histogram and epoch
+// gauges via detect.Online's hooks.
+func TestServiceRetrainMetrics(t *testing.T) {
+	u := testUCAD(t)
+	clk := newFakeClock()
+	svc := NewService(u, Config{
+		Workers:       1,
+		QueueSize:     64,
+		IdleTimeout:   time.Minute,
+		RetrainAfter:  2,
+		RetrainEpochs: 2,
+		Clock:         clk.Now,
+	})
+	for c := 0; c < 3; c++ {
+		for pos := 0; pos < 6; pos++ {
+			if err := svc.Ingest(Event{ClientID: fmt.Sprintf("c%d", c), User: "app", SQL: normalStatement(pos)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	svc.Drain()
+	clk.Advance(2 * time.Minute)
+	svc.CloseIdleNow()
+	svc.Stop() // waits for the background fine-tune
+
+	m := svc.Metrics()
+	if got := m.retrainSeconds.Count(); got < 1 {
+		t.Fatalf("retrain histogram count = %d, want >= 1", got)
+	}
+	if got := m.trainEpochs.Value(); got < 2 {
+		t.Fatalf("train epochs = %d, want >= 2", got)
+	}
+	if m.trainWindowsPerSec.Value() <= 0 {
+		t.Fatalf("windows/sec = %v, want > 0", m.trainWindowsPerSec.Value())
+	}
+	if st := svc.Stats(); st.Retrains < 1 {
+		t.Fatalf("stats retrains = %d, want >= 1", st.Retrains)
+	}
+}

@@ -271,7 +271,7 @@ func TestEngineMicroBatchScoresEverything(t *testing.T) {
 
 func TestAlertStoreLifecycle(t *testing.T) {
 	clk := newFakeClock()
-	st := newAlertStore(clk.Now)
+	st := newAlertStore(clk.Now, -1, 0)
 
 	res := Result{Job: Job{Client: "c", User: "u", SessionID: "sess-1", Pos: 6, SQL: "BAD"}, Rank: 99}
 	if !st.flag(res, "u") {

@@ -7,6 +7,7 @@ import (
 
 	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/detect"
+	"github.com/ucad/ucad/internal/obs"
 )
 
 // Config tunes the serving layer.
@@ -28,6 +29,17 @@ type Config struct {
 	RetrainAfter int
 	// RetrainEpochs is the fine-tune epoch count per retrain round.
 	RetrainEpochs int
+	// MaxResolvedAlerts bounds how many resolved alerts the in-memory
+	// store retains (FIFO eviction; 0 means the default, negative means
+	// unbounded). Open alerts are never evicted.
+	MaxResolvedAlerts int
+	// ResolvedAlertTTL ages resolved alerts out of the store (0 means
+	// the default, negative disables the TTL).
+	ResolvedAlertTTL time.Duration
+	// Metrics receives the serving instrumentation; nil creates a
+	// private registry (reachable via Service.Metrics). A Metrics value
+	// binds to exactly one Service.
+	Metrics *Metrics
 	// Clock supplies the wall clock (nil means time.Now); tests inject
 	// a fake clock to drive idle close-out deterministically.
 	Clock func() time.Time
@@ -36,12 +48,14 @@ type Config struct {
 // DefaultConfig returns serving defaults sized for a single node.
 func DefaultConfig() Config {
 	return Config{
-		Workers:       4,
-		QueueSize:     1024,
-		Batch:         16,
-		IdleTimeout:   10 * time.Minute,
-		SweepEvery:    15 * time.Second,
-		RetrainEpochs: 2,
+		Workers:           4,
+		QueueSize:         1024,
+		Batch:             16,
+		IdleTimeout:       10 * time.Minute,
+		SweepEvery:        15 * time.Second,
+		RetrainEpochs:     2,
+		MaxResolvedAlerts: 4096,
+		ResolvedAlertTTL:  24 * time.Hour,
 	}
 }
 
@@ -51,12 +65,14 @@ func DefaultConfig() Config {
 // operations raise alerts mid-session, closed sessions feed the
 // verified-pool/retrain cycle via detect.Online.
 type Service struct {
-	cfg    Config
-	ucad   *core.UCAD
-	online *detect.Online
-	asm    *Assembler
-	engine *Engine
-	alerts *alertStore
+	cfg     Config
+	ucad    *core.UCAD
+	online  *detect.Online
+	asm     *Assembler
+	engine  *Engine
+	alerts  *alertStore
+	metrics *Metrics
+	start   time.Time
 
 	window     int
 	minContext int
@@ -97,6 +113,15 @@ func NewService(u *core.UCAD, cfg Config) *Service {
 	if cfg.RetrainEpochs <= 0 {
 		cfg.RetrainEpochs = def.RetrainEpochs
 	}
+	if cfg.MaxResolvedAlerts == 0 {
+		cfg.MaxResolvedAlerts = def.MaxResolvedAlerts
+	}
+	if cfg.ResolvedAlertTTL == 0 {
+		cfg.ResolvedAlertTTL = def.ResolvedAlertTTL
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics(nil)
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
@@ -106,12 +131,27 @@ func NewService(u *core.UCAD, cfg Config) *Service {
 		ucad:       u,
 		online:     detect.NewOnline(u),
 		asm:        NewAssembler(cfg.IdleTimeout, cfg.Clock),
-		alerts:     newAlertStore(cfg.Clock),
+		alerts:     newAlertStore(cfg.Clock, cfg.MaxResolvedAlerts, cfg.ResolvedAlertTTL),
+		metrics:    cfg.Metrics,
+		start:      cfg.Clock(),
 		window:     mcfg.Window,
 		minContext: mcfg.MinContext,
 		topP:       mcfg.TopP,
 	}
 	s.engine = NewEngine(s.online, mcfg.Vocab, cfg.Workers, cfg.QueueSize, cfg.Batch, s.onResult)
+	m := s.metrics
+	s.engine.instrument(m.queueWaitSeconds, m.scoreSeconds, m.scoreBatchSize)
+	s.online.SetTrainHooks(detect.TrainHooks{
+		Epoch: func(epoch int, loss float64) {
+			m.trainEpochLoss.Set(loss)
+			m.trainEpochs.Inc()
+		},
+		Done: func(st detect.RetrainStats) {
+			m.retrainSeconds.Observe(st.Duration.Seconds())
+			m.trainWindowsPerSec.Set(st.WindowsPerSecond())
+		},
+	})
+	m.bind(s)
 	return s
 }
 
@@ -169,6 +209,8 @@ func (s *Service) Ingest(ev Event) error {
 	if ev.SQL == "" {
 		return ErrInvalid
 	}
+	t := obs.StartTimer(s.metrics.ingestSeconds)
+	defer t.Stop()
 	key := s.ucad.Vocab.Key(ev.SQL)
 	ap := s.asm.Append(ev, key, s.window+1)
 	if ap.Pos >= s.minContext {
@@ -203,10 +245,12 @@ func (s *Service) onResult(r Result) {
 }
 
 // CloseIdleNow sweeps idle sessions through close-out detection
-// immediately and returns how many closed.
+// immediately and returns how many closed. It also ages resolved alerts
+// past their retention TTL out of the store.
 func (s *Service) CloseIdleNow() int {
 	closed := s.asm.CloseIdle()
 	s.finalize(closed)
+	s.alerts.evictExpired()
 	return len(closed)
 }
 
@@ -215,7 +259,9 @@ func (s *Service) CloseIdleNow() int {
 // pool, anomalous ones become (or complete) pending alerts.
 func (s *Service) finalize(closed []Closed) {
 	for _, c := range closed {
+		t := obs.StartTimer(s.metrics.closeoutSeconds)
 		da := s.online.Process(c.Session)
+		t.Stop()
 		stmts := make([]string, len(c.Session.Ops))
 		for i := range c.Session.Ops {
 			stmts[i] = c.Session.Ops[i].SQL
@@ -261,6 +307,7 @@ func (s *Service) Resolve(id int64, verdict string) error {
 	if err != nil {
 		return err
 	}
+	s.metrics.alertsResolved.With(status).Inc()
 	if da != nil {
 		if status == StatusFalseAlarm {
 			s.online.ResolveFalseAlarm(da)
@@ -282,38 +329,52 @@ func (s *Service) Drain() { s.engine.Drain() }
 // Online exposes the wrapped detection loop (expert tooling, tests).
 func (s *Service) Online() *detect.Online { return s.online }
 
-// Stats is a point-in-time snapshot of the serving counters.
+// Metrics exposes the serving instrumentation (scrape it with
+// Metrics().Registry.Handler(), already mounted at GET /metrics).
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Stats is a point-in-time snapshot of the serving counters. Every
+// field reads the same underlying counter the /metrics exposition
+// exports, so the two views cannot disagree.
 type Stats struct {
-	EventsAccepted    int64 `json:"events_accepted"`
-	EventsRejected    int64 `json:"events_rejected"`
-	OpsScored         int64 `json:"ops_scored"`
-	MidSessionFlags   int64 `json:"mid_session_flags"`
-	SessionsOpen      int   `json:"sessions_open"`
-	SessionsClosed    int64 `json:"sessions_closed"`
-	SessionsProcessed int   `json:"sessions_processed"`
-	SessionsFlagged   int   `json:"sessions_flagged"`
-	AlertsOpen        int   `json:"alerts_open"`
-	VerifiedPool      int   `json:"verified_pool"`
-	Retrains          int64 `json:"retrains"`
-	QueueDepth        int   `json:"queue_depth"`
-	Workers           int   `json:"workers"`
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	EventsAccepted    int64   `json:"events_accepted"`
+	EventsRejected    int64   `json:"events_rejected"`
+	OpsScored         int64   `json:"ops_scored"`
+	OpsRejected       int64   `json:"ops_rejected"`
+	MidSessionFlags   int64   `json:"mid_session_flags"`
+	SessionsOpen      int     `json:"sessions_open"`
+	SessionsClosed    int64   `json:"sessions_closed"`
+	SessionsProcessed int     `json:"sessions_processed"`
+	SessionsFlagged   int     `json:"sessions_flagged"`
+	AlertsOpen        int     `json:"alerts_open"`
+	AlertsRaised      int64   `json:"alerts_raised"`
+	AlertsEvicted     int64   `json:"alerts_evicted"`
+	VerifiedPool      int     `json:"verified_pool"`
+	Retrains          int64   `json:"retrains"`
+	QueueDepth        int     `json:"queue_depth"`
+	Workers           int     `json:"workers"`
 }
 
 // Stats snapshots the serving counters.
 func (s *Service) Stats() Stats {
-	scored, _ := s.engine.Counts()
+	scored, opsRejected := s.engine.Counts()
 	_, closed := s.asm.Counts()
 	processed, flagged := s.online.Stats()
 	return Stats{
+		UptimeSeconds:     s.cfg.Clock().Sub(s.start).Seconds(),
 		EventsAccepted:    s.accepted.Load(),
 		EventsRejected:    s.rejected.Load(),
 		OpsScored:         scored,
+		OpsRejected:       opsRejected,
 		MidSessionFlags:   s.midFlags.Load(),
 		SessionsOpen:      s.asm.OpenCount(),
 		SessionsClosed:    closed,
 		SessionsProcessed: processed,
 		SessionsFlagged:   flagged,
 		AlertsOpen:        s.alerts.openCount(),
+		AlertsRaised:      s.alerts.raisedCount(),
+		AlertsEvicted:     s.alerts.evictedCount(),
 		VerifiedPool:      s.online.VerifiedCount(),
 		Retrains:          s.retrains.Load(),
 		QueueDepth:        s.engine.QueueDepth(),

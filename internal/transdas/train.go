@@ -160,9 +160,10 @@ func (m *Model) Train(sessions [][]int, progress func(epoch int, loss float64)) 
 // FineTune continues training on newly verified normal sessions at half
 // the base learning rate — the paper's concept-drift strategy (§5.2):
 // the model keeps its historical knowledge and absorbs the new normal
-// patterns without retraining from scratch.
-func (m *Model) FineTune(sessions [][]int, epochs int) TrainResult {
-	return m.train(sessions, epochs, m.cfg.LR*0.5, nil)
+// patterns without retraining from scratch. progress, if non-nil, is
+// called after every epoch (training instrumentation).
+func (m *Model) FineTune(sessions [][]int, epochs int, progress func(epoch int, loss float64)) TrainResult {
+	return m.train(sessions, epochs, m.cfg.LR*0.5, progress)
 }
 
 func (m *Model) train(sessions [][]int, epochs int, lr float64, progress func(int, float64)) TrainResult {

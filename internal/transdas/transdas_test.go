@@ -298,7 +298,7 @@ func TestFineTuneAdaptsToNewPattern(t *testing.T) {
 	ctx := append(toySessions(1, rand.New(rand.NewSource(11)))[0], 13, 13)
 	beforeRank := m.RankOf(ctx, 13)
 	beforeSim := m.ScoreNext(ctx)[13]
-	m.FineTune(drift, 15)
+	m.FineTune(drift, 15, nil)
 	afterRank := m.RankOf(ctx, 13)
 	afterSim := m.ScoreNext(ctx)[13]
 	if afterRank > beforeRank {
