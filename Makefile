@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench serve-bench clean
+.PHONY: all build vet test race check bench bench-smoke serve-bench clean
 
 all: check
 
@@ -26,6 +26,13 @@ check: vet build race
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# A fast scoring-benchmark pass (sub-minute) that CI runs on every
+# build: it does not gate on throughput numbers, but catches scoring
+# paths that break outright or regress catastrophically.
+bench-smoke:
+	$(GO) test -bench='BenchmarkScoreBatch|BenchmarkDetectionScore' -benchtime=100ms -run='^$$' .
+	$(GO) test -bench=BenchmarkScoreSequentialTape -benchtime=100ms -run='^$$' ./internal/transdas/
 
 serve-bench:
 	$(GO) test -bench=BenchmarkServeThroughput -benchmem -run='^$$' .

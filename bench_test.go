@@ -192,6 +192,42 @@ func BenchmarkDetectionScore(b *testing.B) {
 	}
 }
 
+// BenchmarkScoreBatch measures the batch-first Scorer across micro-batch
+// sizes on the BenchmarkDetectionScore model. The ns/op-scored metric is
+// the per-operation cost; compare it against BenchmarkDetectionScore and
+// transdas's BenchmarkScoreSequentialTape (the tape-based per-op path
+// the Scorer replaces) to see the fused-batch win.
+func BenchmarkScoreBatch(b *testing.B) {
+	cfg := transdas.DefaultConfig(600)
+	cfg.Hidden, cfg.Heads = 64, 8
+	m := transdas.New(cfg)
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			ctxs := make([][]int, size)
+			for i := range ctxs {
+				ctxs[i] = make([]int, 30)
+				for j := range ctxs[i] {
+					ctxs[i][j] = 1 + rng.Intn(cfg.Vocab-1)
+				}
+			}
+			s := m.NewScorer()
+			var dst [][]float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = s.ScoreBatchInto(dst, ctxs)
+			}
+			elapsed := b.Elapsed()
+			if elapsed > 0 {
+				ops := float64(b.N) * float64(size)
+				b.ReportMetric(ops/elapsed.Seconds(), "ops/s")
+				b.ReportMetric(float64(elapsed.Nanoseconds())/ops, "ns/op-scored")
+			}
+		})
+	}
+}
+
 func BenchmarkTokenizeStatement(b *testing.B) {
 	const stmt = "SELECT * FROM t_cell_fp_3 WHERE pnci=12345 and gridId IN (17, 18, 19, 20, 21, 22)"
 	v := sqlnorm.NewVocabulary()

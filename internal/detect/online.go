@@ -11,6 +11,7 @@ import (
 
 	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/session"
+	"github.com/ucad/ucad/internal/transdas"
 )
 
 // Alert is one flagged session awaiting expert review.
@@ -33,6 +34,10 @@ type Online struct {
 	modelMu sync.RWMutex
 
 	ucad *core.UCAD
+	// scorers pools batch-first scorers for RankBatch; a pooled Scorer
+	// stays valid across Retrain because fine-tuning updates the model
+	// parameters in place under modelMu.
+	scorers sync.Pool
 	// verified accumulates sessions confirmed normal since the last
 	// retraining round.
 	verified []*session.Session
@@ -88,7 +93,11 @@ func (o *Online) SetTrainHooks(h TrainHooks) {
 }
 
 // NewOnline wraps a trained detector.
-func NewOnline(u *core.UCAD) *Online { return &Online{ucad: u} }
+func NewOnline(u *core.UCAD) *Online {
+	o := &Online{ucad: u}
+	o.scorers.New = func() any { return u.Model.NewScorer() }
+	return o
+}
 
 // Process evaluates one active session. Normal sessions join the
 // verified pool immediately; anomalous ones return an Alert and wait in
@@ -197,6 +206,20 @@ func (o *Online) RankAt(buf []float64, preceding []int, key int) int {
 	o.modelMu.RLock()
 	defer o.modelMu.RUnlock()
 	return o.ucad.Model.RankOfInto(buf, preceding, key)
+}
+
+// RankBatch scores a micro-batch of operations in one stacked forward
+// pass: dst[b] receives the 1-based similarity rank of keys[b] given
+// contexts[b]. The whole batch is read-locked against Retrain as a
+// unit, so every rank in it reflects the same model version. dst is
+// grown as needed and returned; len(keys) must equal len(contexts).
+func (o *Online) RankBatch(dst []int, contexts [][]int, keys []int) []int {
+	s := o.scorers.Get().(*transdas.Scorer)
+	o.modelMu.RLock()
+	dst = s.RankBatchInto(dst, contexts, keys)
+	o.modelMu.RUnlock()
+	o.scorers.Put(s)
+	return dst
 }
 
 // Detector returns the wrapped trained detector (vocabulary access for

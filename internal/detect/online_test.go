@@ -161,8 +161,9 @@ func TestOnlineConcurrentProcessRetrain(t *testing.T) {
 				for j, op := range sessions[i].Ops {
 					keys[j] = u.Vocab.Key(op.SQL)
 				}
-				if len(keys) > 3 {
+				if len(keys) > 4 {
 					o.RankAt(buf, keys[:3], keys[3])
+					o.RankBatch(nil, [][]int{keys[:3], keys[:4]}, keys[3:5])
 				}
 			}
 		}(w)
@@ -177,6 +178,40 @@ func TestOnlineConcurrentProcessRetrain(t *testing.T) {
 	processed, _ := o.Stats()
 	if processed != 14 {
 		t.Fatalf("processed = %d, want 14", processed)
+	}
+}
+
+// TestRankBatchMatchesRankAt pins the batched rank surface to the
+// per-operation one: one stacked forward pass over a micro-batch must
+// produce the same ranks as sequential RankAt calls, and the returned
+// slice must reuse the caller's buffer when large enough.
+func TestRankBatchMatchesRankAt(t *testing.T) {
+	u, g := trainedUCAD(t)
+	o := NewOnline(u)
+	s := g.NewSession()
+	keys := make([]int, len(s.Ops))
+	for j, op := range s.Ops {
+		keys[j] = u.Vocab.Key(op.SQL)
+	}
+	if len(keys) < 5 {
+		t.Skip("session too short")
+	}
+	var ctxs [][]int
+	var targets []int
+	for i := 1; i < len(keys); i++ {
+		ctxs = append(ctxs, keys[:i])
+		targets = append(targets, keys[i])
+	}
+	dst := make([]int, 0, len(ctxs))
+	got := o.RankBatch(dst, ctxs, targets)
+	if &got[0] != &dst[:1][0] {
+		t.Fatal("RankBatch did not reuse the caller's buffer")
+	}
+	buf := make([]float64, u.Model.Config().Vocab)
+	for i := range ctxs {
+		if want := o.RankAt(buf, ctxs[i], targets[i]); got[i] != want {
+			t.Fatalf("position %d: RankBatch %d vs RankAt %d", i, got[i], want)
+		}
 	}
 }
 

@@ -41,6 +41,11 @@ func (k MaskKind) String() string {
 
 const maskNegInf = -1e9
 
+// MaskedScore is the additive score for forbidden attention pairs: low
+// enough that its softmax term underflows to exactly 0.0 in float64.
+// Exported for tape-free inference kernels that apply masks inline.
+const MaskedScore = maskNegInf
+
 // BuildMask returns the L x L additive attention mask for the kind:
 // 0 where attention is allowed, -1e9 where it is forbidden. Row = output
 // (query) position, column = input (key) position.
@@ -79,8 +84,8 @@ type MultiHeadAttention struct {
 	// each forward pass (the paper's Figure 6 introspection). It is off
 	// by default so concurrent inference shares the layer safely.
 	Capture bool
-	// lastWeights stores the captured weights, one L x L matrix per
-	// head.
+	// lastWeights stores the captured weights, one (batch·L) x L matrix
+	// per head (L x L for unbatched Forward).
 	lastWeights []*tensor.Matrix
 }
 
@@ -98,13 +103,54 @@ func NewMultiHeadAttention(name string, dim, heads int, mask MaskKind, rng *rand
 	}
 }
 
+// BuildBatchMask returns the (batch·L) x L additive attention mask for a
+// stack of batch right-padded sequences: block b holds the kind's L x L
+// pattern with every column j >= lengths[b] additionally forbidden, so
+// padded key positions receive exactly zero attention weight (their
+// softmax terms underflow to 0). lengths == nil means no padding (every
+// sequence fills all L positions); with batch == 1 and nil lengths the
+// result equals BuildMask.
+func BuildBatchMask(kind MaskKind, batch, L int, lengths []int) *tensor.Matrix {
+	base := BuildMask(kind, L)
+	if batch == 1 && lengths == nil {
+		return base
+	}
+	m := tensor.NewMatrix(batch*L, L)
+	for b := 0; b < batch; b++ {
+		copy(m.Data[b*L*L:(b+1)*L*L], base.Data)
+		if lengths == nil {
+			continue
+		}
+		for i := 0; i < L; i++ {
+			row := m.Row(b*L + i)
+			for j := lengths[b]; j < L; j++ {
+				row[j] = maskNegInf
+			}
+		}
+	}
+	return m
+}
+
 // Forward computes MH(E) for an L x dim input. The mask is rebuilt for
 // the actual sequence length, so shorter-than-L sequences work.
 func (a *MultiHeadAttention) Forward(tp *tensor.Tape, e *tensor.Node) *tensor.Node {
+	return a.ForwardBatch(tp, e, 1, nil)
+}
+
+// ForwardBatch computes MH(E) independently for batch stacked L x dim
+// sequences in one pass over stacked matrices. e holds the sequences
+// concatenated along the row axis ((batch·L) x dim); mask is a
+// (batch·L) x L additive mask from BuildBatchMask, or nil to build the
+// layer's kind mask with no padding. Attention never crosses sequence
+// boundaries: scores and read-outs use block-diagonal batched products.
+func (a *MultiHeadAttention) ForwardBatch(tp *tensor.Tape, e *tensor.Node, batch int, mask *tensor.Matrix) *tensor.Node {
 	dim := a.WQ.Value.Rows
-	L := e.Value.Rows
+	L := e.Value.Rows / batch
 	dk := dim / a.Heads
-	mask := tp.Const(BuildMask(a.Mask, L))
+	if mask == nil {
+		mask = BuildBatchMask(a.Mask, batch, L, nil)
+	}
+	maskN := tp.Const(mask)
 
 	q := tp.MatMul(e, tp.Param(a.WQ))
 	k := tp.MatMul(e, tp.Param(a.WK))
@@ -122,12 +168,12 @@ func (a *MultiHeadAttention) Forward(tp *tensor.Tape, e *tensor.Node) *tensor.No
 		qh := tp.SliceCols(q, lo, hi)
 		kh := tp.SliceCols(k, lo, hi)
 		vh := tp.SliceCols(v, lo, hi)
-		scores := tp.Add(tp.Scale(tp.MatMul(qh, tp.Transpose(kh)), scale), mask)
+		scores := tp.Add(tp.Scale(tp.BatchMatMulNT(qh, kh, batch), scale), maskN)
 		weights := tp.SoftmaxRows(scores)
 		if a.Capture {
 			a.lastWeights = append(a.lastWeights, weights.Value.Clone())
 		}
-		headsOut[hIdx] = tp.MatMul(weights, vh)
+		headsOut[hIdx] = tp.BatchMatMulNN(weights, vh, batch)
 	}
 	return tp.MatMul(tp.ConcatCols(headsOut...), tp.Param(a.WO))
 }

@@ -8,11 +8,13 @@ import (
 	"github.com/ucad/ucad/internal/obs"
 )
 
-// Ranker scores one operation against its preceding context; the
-// production implementation is detect.Online.RankAt (read-locked
-// against retraining). buf is a reusable similarity buffer.
+// Ranker scores a micro-batch of operations in one stacked forward
+// pass: dst[b] receives the 1-based rank of keys[b] given contexts[b],
+// and the returned slice is dst grown as needed. The production
+// implementation is detect.Online.RankBatch (read-locked against
+// retraining as one unit).
 type Ranker interface {
-	RankAt(buf []float64, preceding []int, key int) int
+	RankBatch(dst []int, contexts [][]int, keys []int) []int
 }
 
 // Job is one operation awaiting scoring: the key window ending at the
@@ -44,11 +46,12 @@ type Result struct {
 // Engine is a bounded worker pool scoring jobs against a Ranker.
 // Submit never blocks: when the queue is full it fails fast with
 // ErrBusy so the ingestion layer can push backpressure to clients.
-// Workers drain the queue in micro-batches, reusing one similarity
-// buffer per worker so the hot path does not allocate per operation.
+// Workers drain the queue in micro-batches and score each one with a
+// single fused RankBatch call — one stacked forward pass per drain —
+// reusing per-worker batch scratch so the hot path does not allocate
+// per operation.
 type Engine struct {
 	ranker   Ranker
-	bufSize  int
 	batch    int
 	queue    chan Job
 	onResult func(Result)
@@ -70,11 +73,10 @@ type Engine struct {
 }
 
 // NewEngine builds an engine with the given worker count, queue
-// capacity and micro-batch size (values < 1 are raised to 1). bufSize
-// is the similarity-buffer length (the model vocabulary). onResult is
-// invoked from worker goroutines for every scored job and must be safe
-// for concurrent use.
-func NewEngine(r Ranker, bufSize, workers, queueSize, batch int, onResult func(Result)) *Engine {
+// capacity and micro-batch size (values < 1 are raised to 1). onResult
+// is invoked from worker goroutines for every scored job and must be
+// safe for concurrent use.
+func NewEngine(r Ranker, workers, queueSize, batch int, onResult func(Result)) *Engine {
 	if workers < 1 {
 		workers = 1
 	}
@@ -89,7 +91,6 @@ func NewEngine(r Ranker, bufSize, workers, queueSize, batch int, onResult func(R
 	}
 	e := &Engine{
 		ranker:   r,
-		bufSize:  bufSize,
 		batch:    batch,
 		queue:    make(chan Job, queueSize),
 		onResult: onResult,
@@ -156,13 +157,15 @@ func (e *Engine) Counts() (scored, rejected int64) {
 
 func (e *Engine) worker() {
 	defer e.workers.Done()
-	buf := make([]float64, e.bufSize)
 	batch := make([]Job, 0, e.batch)
+	ctxs := make([][]int, 0, e.batch)
+	keys := make([]int, 0, e.batch)
+	ranks := make([]int, 0, e.batch)
 	for j := range e.queue {
 		batch = append(batch[:0], j)
 	fill:
 		// Micro-batch: opportunistically drain more queued jobs so a
-		// burst is scored by one worker pass over a warm buffer.
+		// burst is fused into one stacked forward pass.
 		for len(batch) < e.batch {
 			select {
 			case j2, ok := <-e.queue:
@@ -183,18 +186,23 @@ func (e *Engine) worker() {
 				e.queueWait.Observe(now.Sub(job.enqueuedAt).Seconds())
 			}
 		}
+		ctxs, keys = ctxs[:0], keys[:0]
 		for _, job := range batch {
 			n := len(job.Keys)
-			var t obs.Timer
-			if e.scoreLat != nil {
-				t = obs.StartTimer(e.scoreLat)
-			}
-			rank := e.ranker.RankAt(buf, job.Keys[:n-1], job.Keys[n-1])
-			if e.scoreLat != nil {
-				t.Stop()
-			}
+			ctxs = append(ctxs, job.Keys[:n-1])
+			keys = append(keys, job.Keys[n-1])
+		}
+		var t obs.Timer
+		if e.scoreLat != nil {
+			t = obs.StartTimer(e.scoreLat)
+		}
+		ranks = e.ranker.RankBatch(ranks[:0], ctxs, keys)
+		if e.scoreLat != nil {
+			t.Stop()
+		}
+		for i, job := range batch {
 			e.scored.Add(1)
-			e.onResult(Result{Job: job, Rank: rank})
+			e.onResult(Result{Job: job, Rank: ranks[i]})
 			e.inflight.Done()
 		}
 	}

@@ -10,6 +10,7 @@ import (
 // Handler returns the HTTP/JSON API over the service:
 //
 //	POST /v1/events              ingest one event or an array of events
+//	                             (arrays get per-event statuses back)
 //	GET  /v1/alerts[?status=s]   list alerts (open|false_alarm|confirmed)
 //	POST /v1/alerts/{id}/resolve apply an expert verdict
 //	GET  /healthz                liveness probe
@@ -34,42 +35,87 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// eventsResponse reports how much of a batch was absorbed; on a 503 the
-// client resends everything from index Accepted onward.
+// eventStatus is one event's outcome within a batched submission.
+type eventStatus struct {
+	Status string `json:"status"`          // "accepted" or "rejected"
+	Error  string `json:"error,omitempty"` // rejection reason
+}
+
+// eventsResponse reports how much of a submission was absorbed. Array
+// submissions carry one per-event status in submission order, so a
+// partially rejected batch tells the client exactly which events to
+// resend; single-object submissions keep the original shape (no Events
+// list) for backward compatibility.
 type eventsResponse struct {
-	Accepted int    `json:"accepted"`
-	Error    string `json:"error,omitempty"`
+	Accepted int           `json:"accepted"`
+	Error    string        `json:"error,omitempty"`
+	Events   []eventStatus `json:"events,omitempty"`
 }
 
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
-	events, err := decodeEvents(r)
+	events, isArray, err := decodeEvents(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, eventsResponse{Error: err.Error()})
 		return
 	}
-	for i, ev := range events {
-		if err := s.Ingest(ev); err != nil {
-			code := http.StatusBadRequest
-			switch {
-			case errors.Is(err, ErrBusy):
-				code = http.StatusServiceUnavailable
-				w.Header().Set("Retry-After", "1")
-			case errors.Is(err, ErrStopped):
-				code = http.StatusServiceUnavailable
-			}
-			writeJSON(w, code, eventsResponse{Accepted: i, Error: err.Error()})
+	if !isArray {
+		if err := s.Ingest(events[0]); err != nil {
+			writeJSON(w, ingestStatusCode(w, err), eventsResponse{Error: err.Error()})
 			return
 		}
+		writeJSON(w, http.StatusAccepted, eventsResponse{Accepted: 1})
+		return
 	}
-	writeJSON(w, http.StatusAccepted, eventsResponse{Accepted: len(events)})
+
+	// Batched submission: every event is attempted (a rejection does not
+	// shadow the events after it) and reported individually.
+	statuses := make([]eventStatus, len(events))
+	accepted := 0
+	var firstErr error
+	for i, ev := range events {
+		err := s.Ingest(ev)
+		if err == nil {
+			statuses[i] = eventStatus{Status: "accepted"}
+			accepted++
+			continue
+		}
+		statuses[i] = eventStatus{Status: "rejected", Error: err.Error()}
+		if firstErr == nil || (errors.Is(err, ErrBusy) || errors.Is(err, ErrStopped)) &&
+			!(errors.Is(firstErr, ErrBusy) || errors.Is(firstErr, ErrStopped)) {
+			// Backpressure outranks validation errors for the status code:
+			// a 503 tells the client the rejected events are retryable.
+			firstErr = err
+		}
+	}
+	code := http.StatusAccepted
+	if firstErr != nil {
+		code = ingestStatusCode(w, firstErr)
+	}
+	writeJSON(w, code, eventsResponse{Accepted: accepted, Events: statuses})
 }
 
-// decodeEvents accepts either a single JSON event object or an array.
-func decodeEvents(r *http.Request) ([]Event, error) {
+// ingestStatusCode maps an Ingest error to its HTTP status, setting
+// Retry-After on backpressure rejections (the rolled-back events are
+// safe to resend).
+func ingestStatusCode(w http.ResponseWriter, err error) int {
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrStopped):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// decodeEvents accepts either a single JSON event object or an array,
+// reporting which shape arrived so the response can mirror it.
+func decodeEvents(r *http.Request) (events []Event, isArray bool, err error) {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
 	var raw json.RawMessage
 	if err := dec.Decode(&raw); err != nil {
-		return nil, errors.New("invalid JSON body")
+		return nil, false, errors.New("invalid JSON body")
 	}
 	for _, c := range raw {
 		switch c {
@@ -78,18 +124,18 @@ func decodeEvents(r *http.Request) ([]Event, error) {
 		case '[':
 			var events []Event
 			if err := json.Unmarshal(raw, &events); err != nil {
-				return nil, errors.New("invalid event array")
+				return nil, true, errors.New("invalid event array")
 			}
-			return events, nil
+			return events, true, nil
 		default:
 			var ev Event
 			if err := json.Unmarshal(raw, &ev); err != nil {
-				return nil, errors.New("invalid event object")
+				return nil, false, errors.New("invalid event object")
 			}
-			return []Event{ev}, nil
+			return []Event{ev}, false, nil
 		}
 	}
-	return nil, errors.New("empty body")
+	return nil, false, errors.New("empty body")
 }
 
 func (s *Service) handleAlerts(w http.ResponseWriter, r *http.Request) {

@@ -202,6 +202,78 @@ func TestServeHTTPEventArrayAndValidation(t *testing.T) {
 	}
 }
 
+// TestServeHTTPBatchPerEventStatuses checks the batched-submission
+// contract: every event in an array is attempted, the response carries
+// one status per event in submission order, and the valid events land
+// even when the batch also carries rejected ones. Single-object
+// submissions keep the legacy response shape.
+func TestServeHTTPBatchPerEventStatuses(t *testing.T) {
+	u := testUCAD(t)
+	svc := NewService(u, Config{Workers: 1, QueueSize: 64})
+	defer svc.Stop()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// A mixed batch: two valid events around one with no SQL.
+	body := `[{"client_id":"c","user":"app","sql":"SELECT 1"},{"client_id":"c"},{"client_id":"c","user":"app","sql":"SELECT 2"}]`
+	resp, err := http.Post(ts.URL+"/v1/events", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er eventsResponse
+	json.NewDecoder(resp.Body).Decode(&er)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed batch status = %d, want 400", resp.StatusCode)
+	}
+	if er.Accepted != 2 || len(er.Events) != 3 {
+		t.Fatalf("mixed batch response %+v, want accepted=2 with 3 statuses", er)
+	}
+	if er.Events[0].Status != "accepted" || er.Events[2].Status != "accepted" {
+		t.Fatalf("valid events not accepted: %+v", er.Events)
+	}
+	if er.Events[1].Status != "rejected" || er.Events[1].Error == "" {
+		t.Fatalf("invalid event not rejected with reason: %+v", er.Events[1])
+	}
+	if got := svc.Stats().EventsAccepted; got != 2 {
+		t.Fatalf("events accepted = %d, want 2 (rejection must not shadow later events)", got)
+	}
+
+	// Single-object shape: legacy response, no per-event list.
+	resp, err = http.Post(ts.URL+"/v1/events", "application/json",
+		strings.NewReader(`{"client_id":"c","user":"app","sql":"SELECT 3"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	json.NewDecoder(resp.Body).Decode(&raw)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || string(raw["accepted"]) != "1" {
+		t.Fatalf("single object: %d %v", resp.StatusCode, raw)
+	}
+	if _, ok := raw["events"]; ok {
+		t.Fatal("single-object response must not carry a per-event status list")
+	}
+
+	// A stopped service rejects the whole batch as retryable: 503 with
+	// every event rejected.
+	svc.Stop()
+	resp, err = http.Post(ts.URL+"/v1/events", "application/json",
+		strings.NewReader(`[{"client_id":"c","user":"app","sql":"SELECT 4"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	er = eventsResponse{}
+	json.NewDecoder(resp.Body).Decode(&er)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stopped batch status = %d, want 503", resp.StatusCode)
+	}
+	if er.Accepted != 0 || len(er.Events) != 1 || er.Events[0].Status != "rejected" {
+		t.Fatalf("stopped batch response %+v", er)
+	}
+}
+
 func get(t *testing.T, url string) (int, string) {
 	t.Helper()
 	resp, err := http.Get(url)

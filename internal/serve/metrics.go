@@ -54,14 +54,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		queueWaitSeconds: reg.Histogram("ucad_queue_wait_seconds",
 			"Time a scoring job waited in the queue before a worker picked it up.", obs.LatencyBuckets),
 		scoreSeconds: reg.Histogram("ucad_score_seconds",
-			"Latency of one incremental top-p scoring pass (model forward).", obs.LatencyBuckets),
+			"Latency of one fused micro-batch scoring pass (stacked model forward).", obs.LatencyBuckets),
 		closeoutSeconds: reg.Histogram("ucad_closeout_seconds",
 			"Latency of full-session close-out detection per closed session.", obs.LatencyBuckets),
 		retrainSeconds: reg.Histogram("ucad_retrain_seconds",
 			"Wall-clock duration of one background fine-tune round.",
 			obs.ExponentialBuckets(0.01, 4, 8)),
 		scoreBatchSize: reg.Histogram("ucad_score_batch_size",
-			"Jobs drained per scoring-worker micro-batch pass.",
+			"Jobs fused into one stacked forward pass per scoring-worker drain.",
 			obs.ExponentialBuckets(1, 2, 8)),
 		alertsResolved: reg.CounterVec("ucad_alerts_resolved_total",
 			"Expert verdicts applied to final alerts, by outcome.", "verdict"),

@@ -112,7 +112,6 @@ func TestServiceMetricsScrapeEndToEnd(t *testing.T) {
 		"ucad_ingest_seconds_count":     events,
 		"ucad_ops_scored_total":         scored,
 		"ucad_queue_wait_seconds_count": scored,
-		"ucad_score_seconds_count":      scored,
 		"ucad_score_batch_size_sum":     scored, // batch sizes sum to jobs drained
 		"ucad_sessions_open":            clients,
 		"ucad_sessions_opened_total":    clients,
@@ -132,6 +131,16 @@ func TestServiceMetricsScrapeEndToEnd(t *testing.T) {
 			t.Fatalf("%s = %v, want %v", series, got, want)
 		}
 	}
+	// The score histogram observes fused micro-batches, not jobs: one
+	// sample per drain, between 1 (everything fused) and scored (no
+	// fusion), and exactly one batch-size sample per timed pass.
+	passes := m["ucad_score_seconds_count"]
+	if passes < 1 || passes > scored {
+		t.Fatalf("score_seconds_count = %v, want in [1, %v]", passes, scored)
+	}
+	if got := m["ucad_score_batch_size_count"]; got != passes {
+		t.Fatalf("score_batch_size_count = %v, want %v (one per fused pass)", got, passes)
+	}
 	// Latency histograms carry real (positive) time.
 	for _, series := range []string{"ucad_ingest_seconds_sum", "ucad_score_seconds_sum"} {
 		if m[series] <= 0 {
@@ -139,8 +148,8 @@ func TestServiceMetricsScrapeEndToEnd(t *testing.T) {
 		}
 	}
 	// Cumulative bucket counts must reach the +Inf bucket.
-	if m[`ucad_score_seconds_bucket{le="+Inf"}`] != scored {
-		t.Fatalf("score +Inf bucket = %v, want %v", m[`ucad_score_seconds_bucket{le="+Inf"}`], scored)
+	if m[`ucad_score_seconds_bucket{le="+Inf"}`] != passes {
+		t.Fatalf("score +Inf bucket = %v, want %v", m[`ucad_score_seconds_bucket{le="+Inf"}`], passes)
 	}
 
 	// Close out every session and confirm the alert: the close-out

@@ -193,17 +193,20 @@ type blockingRanker struct {
 	release chan struct{}
 }
 
-func (r *blockingRanker) RankAt(buf []float64, preceding []int, key int) int {
+func (r *blockingRanker) RankBatch(dst []int, contexts [][]int, keys []int) []int {
 	r.started <- struct{}{}
 	<-r.release
-	return 1
+	for range keys {
+		dst = append(dst, 1)
+	}
+	return dst
 }
 
 func TestEngineBackpressure(t *testing.T) {
 	r := &blockingRanker{started: make(chan struct{}, 16), release: make(chan struct{})}
 	var mu sync.Mutex
 	var results []Result
-	e := NewEngine(r, 4, 1, 2, 1, func(res Result) {
+	e := NewEngine(r, 1, 2, 1, func(res Result) {
 		mu.Lock()
 		results = append(results, res)
 		mu.Unlock()
@@ -243,20 +246,25 @@ func TestEngineBackpressure(t *testing.T) {
 	}
 }
 
-// countingRanker flags key 0 as anomalous and counts calls.
+// countingRanker flags key 0 as anomalous and counts ranked operations
+// (not fused calls), so micro-batching cannot hide dropped jobs.
 type countingRanker struct{ calls atomic.Int64 }
 
-func (r *countingRanker) RankAt(buf []float64, preceding []int, key int) int {
-	r.calls.Add(1)
-	if key == 0 {
-		return 99
+func (r *countingRanker) RankBatch(dst []int, contexts [][]int, keys []int) []int {
+	for _, key := range keys {
+		r.calls.Add(1)
+		if key == 0 {
+			dst = append(dst, 99)
+		} else {
+			dst = append(dst, 1)
+		}
 	}
-	return 1
+	return dst
 }
 
 func TestEngineMicroBatchScoresEverything(t *testing.T) {
 	r := &countingRanker{}
-	e := NewEngine(r, 4, 3, 64, 8, nil)
+	e := NewEngine(r, 3, 64, 8, nil)
 	for i := 0; i < 50; i++ {
 		if err := e.Submit(Job{Keys: []int{1, 2, 3}, Pos: i}); err != nil {
 			t.Fatal(err)

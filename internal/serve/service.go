@@ -138,7 +138,7 @@ func NewService(u *core.UCAD, cfg Config) *Service {
 		minContext: mcfg.MinContext,
 		topP:       mcfg.TopP,
 	}
-	s.engine = NewEngine(s.online, mcfg.Vocab, cfg.Workers, cfg.QueueSize, cfg.Batch, s.onResult)
+	s.engine = NewEngine(s.online, cfg.Workers, cfg.QueueSize, cfg.Batch, s.onResult)
 	m := s.metrics
 	s.engine.instrument(m.queueWaitSeconds, m.scoreSeconds, m.scoreBatchSize)
 	s.online.SetTrainHooks(detect.TrainHooks{

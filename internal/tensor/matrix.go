@@ -89,6 +89,16 @@ func (m *Matrix) Fill(v float64) {
 // SameShape reports whether m and o have identical dimensions.
 func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
 
+// RowsView returns rows [from, to) as a matrix sharing m's backing
+// array. Writes through the view are visible in m; the view must not
+// outlive reshapes of m.
+func (m *Matrix) RowsView(from, to int) *Matrix {
+	if from < 0 || from > to || to > m.Rows {
+		panic(fmt.Sprintf("tensor: rows view [%d:%d) of %d rows", from, to, m.Rows))
+	}
+	return &Matrix{Rows: to - from, Cols: m.Cols, Data: m.Data[from*m.Cols : to*m.Cols]}
+}
+
 // String renders the matrix for debugging.
 func (m *Matrix) String() string {
 	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
@@ -106,24 +116,100 @@ func (m *Matrix) String() string {
 	return s + "]"
 }
 
-// MatMulInto computes dst = a·b without autodiff. dst must not alias a or b.
+// MatMulInto computes dst = a·b without autodiff. dst must not alias a
+// or b. The inner loop processes four k-terms per pass over the output
+// row, quartering the store traffic of a plain axpy walk; all-zero
+// quartets (padded or masked inputs) are skipped.
 func MatMulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
 	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for k, av := range arow {
+	n, bc := a.Cols, b.Cols
+	i := 0
+	for ; i+2 <= a.Rows; i += 2 {
+		ar0 := a.Data[i*n : (i+1)*n]
+		ar1 := a.Data[(i+1)*n : (i+2)*n]
+		dr0 := dst.Data[i*bc : (i+1)*bc]
+		dr1 := dst.Data[(i+1)*bc : (i+2)*bc]
+		k := 0
+		for ; k+4 <= n; k += 4 {
+			a00, a01, a02, a03 := ar0[k], ar0[k+1], ar0[k+2], ar0[k+3]
+			a10, a11, a12, a13 := ar1[k], ar1[k+1], ar1[k+2], ar1[k+3]
+			if a00 == 0 && a01 == 0 && a02 == 0 && a03 == 0 &&
+				a10 == 0 && a11 == 0 && a12 == 0 && a13 == 0 {
+				continue
+			}
+			b0 := b.Data[k*bc : (k+1)*bc]
+			b1 := b.Data[(k+1)*bc : (k+2)*bc]
+			b2 := b.Data[(k+2)*bc : (k+3)*bc]
+			b3 := b.Data[(k+3)*bc : (k+4)*bc : (k+4)*bc]
+			for j := range b3 {
+				v0, v1, v2, v3 := b0[j], b1[j], b2[j], b3[j]
+				dr0[j] += a00*v0 + a01*v1 + a02*v2 + a03*v3
+				dr1[j] += a10*v0 + a11*v1 + a12*v2 + a13*v3
+			}
+		}
+		for ; k < n; k++ {
+			a0v, a1v := ar0[k], ar1[k]
+			if a0v == 0 && a1v == 0 {
+				continue
+			}
+			brow := b.Data[k*bc : (k+1)*bc]
+			for j, bv := range brow {
+				dr0[j] += a0v * bv
+				dr1[j] += a1v * bv
+			}
+		}
+	}
+	for ; i < a.Rows; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		drow := dst.Data[i*bc : (i+1)*bc]
+		k := 0
+		for ; k+4 <= n; k += 4 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := b.Data[k*bc : (k+1)*bc]
+			b1 := b.Data[(k+1)*bc : (k+2)*bc]
+			b2 := b.Data[(k+2)*bc : (k+3)*bc]
+			b3 := b.Data[(k+3)*bc : (k+4)*bc : (k+4)*bc]
+			for j := range b3 {
+				drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; k < n; k++ {
+			av := arow[k]
 			if av == 0 {
 				continue
 			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			brow := b.Data[k*bc : (k+1)*bc]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
+		}
+	}
+}
+
+// AddMatMul accumulates dst += a·b. Used by backward passes; each output
+// element is a k-ascending dot product, matching the accumulation order
+// of AddMatMulTransposeB so batched and unbatched backward passes agree.
+func AddMatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: addmatmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k, av := range arow {
+				s += av * b.Data[k*b.Cols+j]
+			}
+			drow[j] += s
 		}
 	}
 }

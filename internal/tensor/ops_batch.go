@@ -1,0 +1,82 @@
+package tensor
+
+// Batched (block-diagonal) matrix products. A "batch" stacks B equal-size
+// blocks along the row axis: an (B·r)×c node holds B independent r×c
+// matrices. These ops multiply corresponding blocks only, so a batched
+// attention pass costs exactly B times one sequence's flops — not the
+// B² of a naive (B·r)×(B·r) product — while still being recorded as a
+// single tape node.
+
+// batchDims validates that a stacks batch equal blocks and returns the
+// per-block row count.
+func batchDims(a *Node, batch int) int {
+	checkShape(batch > 0, "batch size %d", batch)
+	checkShape(a.Value.Rows%batch == 0, "batched rows %d not divisible by batch %d", a.Value.Rows, batch)
+	return a.Value.Rows / batch
+}
+
+// BatchMatMulNT computes, per block i, out_i = A_i·B_iᵀ. With A and B
+// holding batch stacked ra×c and rb×c blocks, the result stacks batch
+// ra×rb blocks. This is the batched attention-score product Q·Kᵀ; it
+// replaces MatMul(q, Transpose(k)) without materializing transposes.
+func (t *Tape) BatchMatMulNT(a, b *Node, batch int) *Node {
+	checkSameTape(t, a, b)
+	ra, rb := batchDims(a, batch), batchDims(b, batch)
+	checkShape(a.Value.Cols == b.Value.Cols, "batched NT inner dim %d vs %d", a.Value.Cols, b.Value.Cols)
+	out := NewMatrix(batch*ra, rb)
+	for i := 0; i < batch; i++ {
+		AddMatMulTransposeB(out.RowsView(i*ra, (i+1)*ra),
+			a.Value.RowsView(i*ra, (i+1)*ra), b.Value.RowsView(i*rb, (i+1)*rb))
+	}
+	n := t.node(out, a.requiresGrad || b.requiresGrad, nil)
+	n.back = func() {
+		for i := 0; i < batch; i++ {
+			g := n.Grad.RowsView(i*ra, (i+1)*ra)
+			if a.requiresGrad {
+				ensureGrad(a)
+				// dA_i += dOut_i·B_i
+				AddMatMul(a.Grad.RowsView(i*ra, (i+1)*ra), g, b.Value.RowsView(i*rb, (i+1)*rb))
+			}
+			if b.requiresGrad {
+				ensureGrad(b)
+				// dB_i += dOut_iᵀ·A_i
+				AddMatMulTransposeA(b.Grad.RowsView(i*rb, (i+1)*rb), g, a.Value.RowsView(i*ra, (i+1)*ra))
+			}
+		}
+	}
+	return n
+}
+
+// BatchMatMulNN computes, per block i, out_i = W_i·V_i. With W stacking
+// batch rw×c blocks and V stacking batch c×cv blocks, the result stacks
+// batch rw×cv blocks. This is the batched attention read-out
+// weights·values product.
+func (t *Tape) BatchMatMulNN(w, v *Node, batch int) *Node {
+	checkSameTape(t, w, v)
+	rw, rv := batchDims(w, batch), batchDims(v, batch)
+	checkShape(w.Value.Cols == rv, "batched NN inner dim %d vs block rows %d", w.Value.Cols, rv)
+	out := NewMatrix(batch*rw, v.Value.Cols)
+	for i := 0; i < batch; i++ {
+		// MatMulInto zeroes the (freshly allocated) view and skips exact
+		// zeros in W — the masked attention weights — for free.
+		MatMulInto(out.RowsView(i*rw, (i+1)*rw),
+			w.Value.RowsView(i*rw, (i+1)*rw), v.Value.RowsView(i*rv, (i+1)*rv))
+	}
+	n := t.node(out, w.requiresGrad || v.requiresGrad, nil)
+	n.back = func() {
+		for i := 0; i < batch; i++ {
+			g := n.Grad.RowsView(i*rw, (i+1)*rw)
+			if w.requiresGrad {
+				ensureGrad(w)
+				// dW_i += dOut_i·V_iᵀ
+				AddMatMulTransposeB(w.Grad.RowsView(i*rw, (i+1)*rw), g, v.Value.RowsView(i*rv, (i+1)*rv))
+			}
+			if v.requiresGrad {
+				ensureGrad(v)
+				// dV_i += W_iᵀ·dOut_i
+				AddMatMulTransposeA(v.Grad.RowsView(i*rv, (i+1)*rv), w.Value.RowsView(i*rw, (i+1)*rw), g)
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBatchMatMulNTGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const batch, ra, rb, c = 3, 4, 5, 2
+	a := randParam("a", batch*ra, c, rng)
+	b := randParam("b", batch*rb, c, rng)
+	// Weight the sum so every output element carries a distinct gradient.
+	w := NewRandN(batch*ra, rb, 1, rng)
+	build := func(tp *Tape) *Node {
+		return tp.Sum(tp.Mul(tp.BatchMatMulNT(tp.Param(a), tp.Param(b), batch), tp.Const(w)))
+	}
+	runScalar(build, a, b)
+	ga, gb := a.Grad.Clone(), b.Grad.Clone()
+	loss := func() float64 { return runScalar(build, a, b) }
+	numericalCheck(t, "batchNT/a", a, loss, ga)
+	numericalCheck(t, "batchNT/b", b, loss, gb)
+}
+
+func TestBatchMatMulNNGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const batch, rw, rv, cv = 3, 4, 5, 2
+	w := randParam("w", batch*rw, rv, rng)
+	v := randParam("v", batch*rv, cv, rng)
+	mix := NewRandN(batch*rw, cv, 1, rng)
+	build := func(tp *Tape) *Node {
+		return tp.Sum(tp.Mul(tp.BatchMatMulNN(tp.Param(w), tp.Param(v), batch), tp.Const(mix)))
+	}
+	runScalar(build, w, v)
+	gw, gv := w.Grad.Clone(), v.Grad.Clone()
+	loss := func() float64 { return runScalar(build, w, v) }
+	numericalCheck(t, "batchNN/w", w, loss, gw)
+	numericalCheck(t, "batchNN/v", v, loss, gv)
+}
+
+// TestBatchMatMulMatchesUnbatched pins the batched ops to the composed
+// single-sequence graph they replace: per block, NT equals
+// MatMul(a, Transpose(b)) and NN equals MatMul(w, v), in both values and
+// parameter gradients.
+func TestBatchMatMulMatchesUnbatched(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const batch, L, d = 4, 3, 5
+	a := randParam("a", batch*L, d, rng)
+	b := randParam("b", batch*L, d, rng)
+
+	batched := runAttnProduct(t, a, b, func(tp *Tape, an, bn *Node) *Node {
+		s := tp.BatchMatMulNT(an, bn, batch)
+		return tp.BatchMatMulNN(tp.SoftmaxRows(s), bn, batch)
+	})
+	gaB, gbB := a.Grad.Clone(), b.Grad.Clone()
+
+	sequential := runAttnProduct(t, a, b, func(tp *Tape, an, bn *Node) *Node {
+		parts := make([]*Node, 0, batch)
+		for i := 0; i < batch; i++ {
+			ai := tp.SliceRows(an, i*L, (i+1)*L)
+			bi := tp.SliceRows(bn, i*L, (i+1)*L)
+			s := tp.MatMul(ai, tp.Transpose(bi))
+			parts = append(parts, tp.MatMul(tp.SoftmaxRows(s), bi))
+		}
+		return stackRows(tp, parts)
+	})
+	gaS, gbS := a.Grad.Clone(), b.Grad.Clone()
+
+	const tol = 1e-12
+	if d := maxAbsDiff(batched, sequential); d > tol {
+		t.Fatalf("batched vs sequential values differ by %g", d)
+	}
+	if d := maxAbsDiff(gaB, gaS); d > tol {
+		t.Fatalf("grad(a) differs by %g", d)
+	}
+	if d := maxAbsDiff(gbB, gbS); d > tol {
+		t.Fatalf("grad(b) differs by %g", d)
+	}
+}
+
+// runAttnProduct runs forward+backward over f's output summed to a
+// scalar and returns the forward value.
+func runAttnProduct(t *testing.T, a, b *Param, f func(tp *Tape, an, bn *Node) *Node) *Matrix {
+	t.Helper()
+	a.ZeroGrad()
+	b.ZeroGrad()
+	tp := NewTape()
+	out := f(tp, tp.Param(a), tp.Param(b))
+	tp.Backward(tp.Sum(out))
+	return out.Value.Clone()
+}
+
+// stackRows vertically concatenates equal-width nodes.
+func stackRows(tp *Tape, parts []*Node) *Node {
+	cols := parts[0].Value.Cols
+	transposed := make([]*Node, len(parts))
+	for i, p := range parts {
+		transposed[i] = tp.Transpose(p)
+	}
+	_ = cols
+	return tp.Transpose(tp.ConcatCols(transposed...))
+}
+
+func maxAbsDiff(a, b *Matrix) float64 {
+	if !a.SameShape(b) {
+		return math.Inf(1)
+	}
+	var worst float64
+	for i, x := range a.Data {
+		if d := math.Abs(x - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

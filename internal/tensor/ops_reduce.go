@@ -98,6 +98,11 @@ func (t *Tape) SoftmaxRows(a *Node) *Node {
 	return n
 }
 
+// SoftmaxInto writes a numerically-stable softmax(src) into dst (which
+// may alias src). It is the tape-free counterpart of SoftmaxRows for
+// inference kernels that manage their own buffers.
+func SoftmaxInto(dst, src []float64) { softmaxInto(dst, src) }
+
 // softmaxInto writes softmax(src) into dst (may alias).
 func softmaxInto(dst, src []float64) {
 	maxv := math.Inf(-1)

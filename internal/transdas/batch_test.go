@@ -1,0 +1,187 @@
+package transdas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ucad/ucad/internal/nn"
+)
+
+// batchVariants covers the kernel-relevant configuration axes: the
+// paper's default, every mask ablation, and the positional-embedding
+// variant.
+func batchVariants() map[string]Config {
+	base := testConfig()
+	full := testConfig()
+	full.Mask = nn.MaskFull
+	future := testConfig()
+	future.Mask = nn.MaskFuture
+	pos := testConfig()
+	pos.Positional = true
+	return map[string]Config{"default": base, "full-mask": full, "future-mask": future, "positional": pos}
+}
+
+// randomContext draws a context of the given length whose keys include
+// the pad key 0 and out-of-vocabulary keys, exercising the zero-row
+// embedding path.
+func randomContext(rng *rand.Rand, vocab, length int) []int {
+	ctx := make([]int, length)
+	for i := range ctx {
+		ctx[i] = rng.Intn(vocab+3) - 1 // [-1, vocab+1]
+	}
+	return ctx
+}
+
+// TestScoreBatchMatchesSequential is the batched-vs-sequential
+// equivalence property (the PR's acceptance criterion): ScoreBatch over
+// N random variable-length contexts must equal N sequential ScoreNext
+// calls — and the tape-based reference forward — within 1e-9, including
+// an empty context inside a batch, a context longer than Window, and a
+// batch of one.
+func TestScoreBatchMatchesSequential(t *testing.T) {
+	for name, cfg := range batchVariants() {
+		t.Run(name, func(t *testing.T) {
+			m := New(cfg)
+			s := m.NewScorer()
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 15; trial++ {
+				var ctxs [][]int
+				switch trial {
+				case 0: // batch of one
+					ctxs = [][]int{randomContext(rng, cfg.Vocab, 4)}
+				case 1: // empty context inside a batch
+					ctxs = [][]int{randomContext(rng, cfg.Vocab, 3), {}, randomContext(rng, cfg.Vocab, 7)}
+				case 2: // context longer than Window
+					ctxs = [][]int{randomContext(rng, cfg.Vocab, cfg.Window+9), randomContext(rng, cfg.Vocab, 1)}
+				default:
+					n := 1 + rng.Intn(8)
+					ctxs = make([][]int, n)
+					for i := range ctxs {
+						ctxs[i] = randomContext(rng, cfg.Vocab, rng.Intn(cfg.Window+4))
+					}
+				}
+				got := s.ScoreBatch(ctxs)
+				for b, ctx := range ctxs {
+					seq := m.ScoreNext(ctx)
+					ref := m.scoreNextTape(nil, ctx)
+					for k := range seq {
+						if d := math.Abs(got[b][k] - seq[k]); d > 1e-9 {
+							t.Fatalf("trial %d ctx %d key %d: batched %g vs sequential %g (diff %g)",
+								trial, b, k, got[b][k], seq[k], d)
+						}
+						if d := math.Abs(got[b][k] - ref[k]); d > 1e-9 {
+							t.Fatalf("trial %d ctx %d key %d: batched %g vs tape reference %g (diff %g)",
+								trial, b, k, got[b][k], ref[k], d)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScorerScratchReuse drives one Scorer through changing batch
+// geometries (growing, shrinking, longer and shorter contexts) and
+// checks each result against a fresh Scorer: stale scratch contents
+// must never leak into a later batch.
+func TestScorerScratchReuse(t *testing.T) {
+	cfg := testConfig()
+	m := New(cfg)
+	warm := m.NewScorer()
+	rng := rand.New(rand.NewSource(5))
+	shapes := []struct{ n, l int }{{8, 3}, {2, 10}, {5, 1}, {1, 7}, {16, 10}, {3, 2}}
+	for _, sh := range shapes {
+		ctxs := make([][]int, sh.n)
+		for i := range ctxs {
+			ctxs[i] = randomContext(rng, cfg.Vocab, sh.l)
+		}
+		got := warm.ScoreBatch(ctxs)
+		want := m.NewScorer().ScoreBatch(ctxs)
+		for b := range ctxs {
+			for k := range want[b] {
+				if got[b][k] != want[b][k] {
+					t.Fatalf("shape %+v ctx %d key %d: warm %g vs fresh %g", sh, b, k, got[b][k], want[b][k])
+				}
+			}
+		}
+	}
+}
+
+// TestRankBatchMatchesRankOf pins the batched rank surface to the
+// single-item wrapper, including the worst-rank convention for PadKey
+// and out-of-vocabulary keys and the rank-1 convention for empty
+// contexts.
+func TestRankBatchMatchesRankOf(t *testing.T) {
+	cfg := testConfig()
+	m := New(cfg)
+	s := m.NewScorer()
+	rng := rand.New(rand.NewSource(17))
+	ctxs := [][]int{
+		randomContext(rng, cfg.Vocab, 5),
+		{},
+		randomContext(rng, cfg.Vocab, cfg.Window+3),
+		randomContext(rng, cfg.Vocab, 1),
+		randomContext(rng, cfg.Vocab, 8),
+	}
+	keys := []int{3, 2, 0, cfg.Vocab + 5, -1}
+	ranks := s.RankBatch(ctxs, keys)
+	for b := range ctxs {
+		want := m.RankOf(ctxs[b], keys[b])
+		if ranks[b] != want {
+			t.Fatalf("ctx %d key %d: RankBatch %d vs RankOf %d", b, keys[b], ranks[b], want)
+		}
+	}
+	if ranks[1] != 1 {
+		t.Fatalf("empty context rank = %d, want 1", ranks[1])
+	}
+	if ranks[2] != cfg.Vocab || ranks[3] != cfg.Vocab || ranks[4] != cfg.Vocab {
+		t.Fatalf("invalid keys ranked %v, want worst rank %d", ranks[2:], cfg.Vocab)
+	}
+}
+
+// TestTopKeysIntoMatchesTopKeys checks the buffer-reusing variant
+// returns identical keys without allocating once buffers are warm.
+func TestTopKeysIntoMatchesTopKeys(t *testing.T) {
+	cfg := testConfig()
+	m := New(cfg)
+	ctx := []int{1, 2, 3, 4}
+	want := m.TopKeys(ctx, 5)
+	keyBuf := make([]int, 0, cfg.Vocab)
+	simBuf := make([]float64, cfg.Vocab)
+	got := m.TopKeysInto(keyBuf, simBuf, ctx, 5)
+	if len(got) != len(want) {
+		t.Fatalf("TopKeysInto returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopKeysInto[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// benchModel mirrors the root-level BenchmarkDetectionScore
+// configuration (Scenario-II-sized vocabulary and width).
+func benchModel() (*Model, []int) {
+	cfg := DefaultConfig(600)
+	cfg.Hidden, cfg.Heads = 64, 8
+	m := New(cfg)
+	ctx := make([]int, 30)
+	for i := range ctx {
+		ctx[i] = 1 + i
+	}
+	return m, ctx
+}
+
+// BenchmarkScoreSequentialTape measures the tape-based per-op reference
+// path the batch-first Scorer replaces; compare against the root-level
+// BenchmarkScoreBatch to see the fused-batch win.
+func BenchmarkScoreSequentialTape(b *testing.B) {
+	m, ctx := benchModel()
+	buf := make([]float64, m.cfg.Vocab)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.scoreNextTape(buf, ctx)
+	}
+}

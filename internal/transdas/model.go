@@ -2,6 +2,7 @@ package transdas
 
 import (
 	"math/rand"
+	"sync"
 
 	"github.com/ucad/ucad/internal/nn"
 	"github.com/ucad/ucad/internal/tensor"
@@ -16,8 +17,8 @@ type block struct {
 	ffn      *nn.FeedForward
 }
 
-func (b *block) forward(tp *tensor.Tape, x *tensor.Node, dropout float64, train bool, rng *rand.Rand) *tensor.Node {
-	x = nn.Residual(tp, b.ln1, x, b.att.Forward(tp, x), dropout, train, rng)
+func (b *block) forward(tp *tensor.Tape, x *tensor.Node, batch int, mask *tensor.Matrix, dropout float64, train bool, rng *rand.Rand) *tensor.Node {
+	x = nn.Residual(tp, b.ln1, x, b.att.ForwardBatch(tp, x, batch, mask), dropout, train, rng)
 	x = nn.Residual(tp, b.ln2, x, b.ffn.Forward(tp, x), dropout, train, rng)
 	return x
 }
@@ -34,6 +35,11 @@ type Model struct {
 	blocks []*block
 	params []*tensor.Param
 	rng    *rand.Rand
+
+	// scorers pools tape-free Scorers for the single-item wrapper API
+	// (ScoreNext, RankOf, DetectSession, ...), so concurrent detection
+	// reuses warm scratch buffers instead of allocating per call.
+	scorers sync.Pool
 }
 
 // New builds a model from the configuration. It panics on an invalid
@@ -67,6 +73,7 @@ func New(cfg Config) *Model {
 	for _, b := range m.blocks {
 		m.params = append(m.params, b.params()...)
 	}
+	m.scorers.New = func() any { return m.NewScorer() }
 	return m
 }
 
@@ -79,15 +86,36 @@ func (m *Model) Params() []*tensor.Param { return m.params }
 // forward runs the stacked attention blocks over a key window of length
 // ≤ cfg.Window and returns the L x h output O^(B) (Eqs. 8–9).
 func (m *Model) forward(tp *tensor.Tape, keys []int, train bool) *tensor.Node {
+	return m.forwardBatch(tp, keys, 1, nil, train)
+}
+
+// forwardBatch runs the stacked attention blocks over batch key windows
+// right-padded to a common length L and concatenated into keys
+// (len(keys) == batch·L). lengths gives each window's real length (nil
+// means all windows fill L); padded positions carry PadKey and are
+// excluded from attention by the padding mask, so row b·L+i of the
+// output equals row i of an unbatched forward over window b alone.
+func (m *Model) forwardBatch(tp *tensor.Tape, keys []int, batch int, lengths []int, train bool) *tensor.Node {
+	L := len(keys) / batch
 	x := m.emb.Lookup(tp, keys)
 	if m.pos != nil {
-		// Learnable position embedding for the ablation variant; the
-		// first len(keys) rows align with the window positions.
-		p := tp.SliceRows(tp.Param(m.pos), 0, len(keys))
+		// Learnable position embedding for the ablation variant; rows
+		// align with each window's positions 0..L-1.
+		var p *tensor.Node
+		if batch == 1 {
+			p = tp.SliceRows(tp.Param(m.pos), 0, L)
+		} else {
+			idx := make([]int, len(keys))
+			for i := range idx {
+				idx[i] = i % L
+			}
+			p = tp.GatherRows(tp.Param(m.pos), idx)
+		}
 		x = tp.Add(x, p)
 	}
+	mask := nn.BuildBatchMask(m.cfg.Mask, batch, L, lengths)
 	for _, b := range m.blocks {
-		x = b.forward(tp, x, m.cfg.Dropout, train, m.rng)
+		x = b.forward(tp, x, batch, mask, m.cfg.Dropout, train, m.rng)
 	}
 	return x
 }

@@ -1,0 +1,447 @@
+package transdas
+
+import (
+	"math"
+
+	"github.com/ucad/ucad/internal/nn"
+	"github.com/ucad/ucad/internal/tensor"
+)
+
+// Scorer is the batch-first scoring surface of Trans-DAS: it pads a
+// micro-batch of variable-length contexts to the batch maximum with the
+// PadKey, runs one masked forward pass through stacked matrices, and
+// reads out one similarity row per context (Eq. 10).
+//
+// The kernel is tape-free: it records no autodiff graph and reuses a
+// set of scratch matrices across calls, so a warm Scorer performs zero
+// heap allocations per batch beyond result rows the caller did not
+// provide. Padded positions embed to the zero vector and are excluded
+// from attention by an additive -1e9 mask, whose softmax terms
+// underflow to exactly 0.0 in float64 — so every context's scores are
+// bit-independent of batch composition and padding length, and agree
+// with the tape-based reference forward to float64 round-off.
+//
+// A Scorer is not safe for concurrent use; create one per goroutine
+// (they share the model's parameters, which the Scorer reads on every
+// call, so a Scorer remains valid across in-place fine-tuning as long
+// as scoring and training are externally serialized, e.g. by
+// detect.Online's lock).
+type Scorer struct {
+	m *Model
+
+	// kind mask cache for the current padded length.
+	mask  *tensor.Matrix
+	maskL int
+
+	// Per-pass geometry: kernel slot -> batch index, and each slot's
+	// real (truncated) context.
+	slots []int
+	ctxs  [][]int
+	lens  []int
+
+	// Scratch matrices, grown on demand and reused across calls.
+	x      *tensor.Matrix // activations, (B·L) x h
+	wqkv   *tensor.Matrix // fused projection weights, h x 3h
+	qkv    *tensor.Matrix // fused Q|K|V projections, (B·L) x 3h
+	att    *tensor.Matrix // concatenated head outputs, (B·L) x h
+	sub    *tensor.Matrix // sub-layer output (attention proj / FFN), (B·L) x h
+	ffnH   *tensor.Matrix // FFN inner activations, (B·L) x h
+	scores []float64      // one L x L attention-score block
+
+	// Compact last-block scratch, one row per sequence (B x h): the
+	// read-out consumes only each sequence's final position, so the last
+	// block computes queries, FFN and norms for those rows alone.
+	attL *tensor.Matrix
+	subL *tensor.Matrix
+	ffnL *tensor.Matrix
+	outL *tensor.Matrix
+
+	// rank scratch and single-item wrapper headers.
+	sims   [][]float64
+	ranks  []int
+	oneCtx [1][]int
+	oneOut [1][]float64
+}
+
+// NewScorer returns a Scorer over the model's current parameters.
+func (m *Model) NewScorer() *Scorer { return &Scorer{m: m} }
+
+// scorer fetches a pooled Scorer for the single-item wrapper API.
+func (m *Model) scorer() *Scorer { return m.scorers.Get().(*Scorer) }
+
+// ScoreBatch scores every context in one batched forward pass and
+// returns one cfg.Vocab-length similarity row per context, in order:
+// row b holds sim[k] = sigmoid(O_last · M(k)) for context b (Eq. 10),
+// with sim[0] (the k0 slot) always 0. Contexts longer than cfg.Window
+// are truncated to their most recent Window keys; an empty context
+// yields an all-zero row (no contextual intent to compare against).
+func (s *Scorer) ScoreBatch(contexts [][]int) [][]float64 {
+	return s.ScoreBatchInto(nil, contexts)
+}
+
+// ScoreBatchInto is ScoreBatch writing into dst: it reuses dst's
+// backing array and any row with capacity >= cfg.Vocab, allocating only
+// what is missing, and returns dst resized to len(contexts).
+func (s *Scorer) ScoreBatchInto(dst [][]float64, contexts [][]int) [][]float64 {
+	vocab := s.m.cfg.Vocab
+	if cap(dst) >= len(contexts) {
+		dst = dst[:len(contexts)]
+	} else {
+		dst = append(dst[:0], make([][]float64, len(contexts))...)
+	}
+	for b := range dst {
+		if cap(dst[b]) >= vocab {
+			dst[b] = dst[b][:vocab]
+			for i := range dst[b] {
+				dst[b][i] = 0
+			}
+		} else {
+			dst[b] = make([]float64, vocab)
+		}
+	}
+
+	// Truncate to the window, drop empty contexts from the kernel (their
+	// rows stay all-zero) and find the padded length.
+	window := s.m.cfg.Window
+	s.slots, s.ctxs, s.lens = s.slots[:0], s.ctxs[:0], s.lens[:0]
+	maxLen := 0
+	for b, ctx := range contexts {
+		if len(ctx) > window {
+			ctx = ctx[len(ctx)-window:]
+		}
+		if len(ctx) == 0 {
+			continue
+		}
+		s.slots = append(s.slots, b)
+		s.ctxs = append(s.ctxs, ctx)
+		s.lens = append(s.lens, len(ctx))
+		if len(ctx) > maxLen {
+			maxLen = len(ctx)
+		}
+	}
+	if len(s.slots) == 0 {
+		return dst
+	}
+
+	out := s.forward(maxLen)
+
+	// Eq. 10 read-out: one row per context (forward returns each
+	// sequence's last real position, already compacted).
+	table := s.m.emb.Table.Value
+	for i, b := range s.slots {
+		last := out.Row(i)
+		sims := dst[b]
+		for k := 1; k < vocab; k++ {
+			row := table.Row(k)
+			var dot float64
+			for j, v := range last {
+				dot += v * row[j]
+			}
+			sims[k] = 1 / (1 + math.Exp(-dot))
+		}
+	}
+	return dst
+}
+
+// RankBatch returns, for each (contexts[b], keys[b]) pair, the 1-based
+// similarity rank of keys[b] given its context — the batched RankOf. A
+// PadKey or out-of-vocabulary key ranks last (Vocab).
+func (s *Scorer) RankBatch(contexts [][]int, keys []int) []int {
+	return s.RankBatchInto(nil, contexts, keys)
+}
+
+// RankBatchInto is RankBatch writing ranks into dst (grown as needed).
+// len(keys) must equal len(contexts).
+func (s *Scorer) RankBatchInto(dst []int, contexts [][]int, keys []int) []int {
+	if len(keys) != len(contexts) {
+		panic("transdas: RankBatch contexts and keys length mismatch")
+	}
+	if cap(dst) >= len(contexts) {
+		dst = dst[:len(contexts)]
+	} else {
+		dst = append(dst[:0], make([]int, len(contexts))...)
+	}
+	s.sims = s.ScoreBatchInto(s.sims, contexts)
+	for b, sims := range s.sims {
+		dst[b] = rankIn(sims, keys[b])
+	}
+	return dst
+}
+
+// rankIn computes the 1-based rank of key within sims (see RankOf).
+func rankIn(sims []float64, key int) int {
+	if key <= 0 || key >= len(sims) {
+		return len(sims)
+	}
+	target := sims[key]
+	rank := 1
+	for k := 1; k < len(sims); k++ {
+		if k != key && sims[k] > target {
+			rank++
+		}
+	}
+	return rank
+}
+
+// forward runs the tape-free stacked forward pass over the slotted
+// contexts padded to L keys each and returns a compact B x h matrix
+// whose row i is the final block's output at sequence i's last real
+// position — the only row Eq. 10's read-out consumes.
+func (s *Scorer) forward(L int) *tensor.Matrix {
+	m := s.m
+	h := m.cfg.Hidden
+	B := len(s.slots)
+	rows := B * L
+
+	s.x = ensureMat(s.x, rows, h)
+	s.wqkv = ensureMat(s.wqkv, h, 3*h)
+	s.qkv = ensureMat(s.qkv, rows, 3*h)
+	s.att = ensureMat(s.att, rows, h)
+	s.sub = ensureMat(s.sub, rows, h)
+	s.ffnH = ensureMat(s.ffnH, rows, h)
+	if cap(s.scores) < L*L {
+		s.scores = make([]float64, L*L)
+	}
+	s.scores = s.scores[:L*L]
+	if s.maskL != L || s.mask == nil {
+		s.mask = nn.BuildMask(m.cfg.Mask, L)
+		s.maskL = L
+	}
+
+	// Embedding (Eq. 1): PadKey, negative and out-of-vocabulary keys map
+	// to the zero vector, exactly as nn.Embedding.Lookup; padded tail
+	// positions are zero too.
+	table := m.emb.Table.Value
+	pad := m.emb.PadKey
+	for i, ctx := range s.ctxs {
+		for t := 0; t < L; t++ {
+			row := s.x.Row(i*L + t)
+			if t >= len(ctx) {
+				zeroRow(row)
+				continue
+			}
+			key := ctx[t]
+			if key == pad || key < 0 || key >= table.Rows {
+				zeroRow(row)
+			} else {
+				copy(row, table.Row(key))
+			}
+		}
+	}
+	if m.pos != nil {
+		// Positional ablation variant: add position t's embedding to
+		// every sequence's row t.
+		for i := 0; i < B; i++ {
+			for t := 0; t < L; t++ {
+				row := s.x.Row(i*L + t)
+				for c, p := range m.pos.Value.Row(t) {
+					row[c] += p
+				}
+			}
+		}
+	}
+
+	for _, blk := range m.blocks[:len(m.blocks)-1] {
+		s.attention(blk.att, B, L, false)
+		// Eq. 5 around attention: x = LN1(x + MH(x)); dropout is the
+		// identity at inference.
+		addInPlace(s.x, s.sub)
+		layerNormInPlace(s.x, blk.ln1)
+		// Eq. 7 FFN, then Eq. 5 again: x = LN2(x + FFN(x)).
+		tensor.MatMulInto(s.ffnH, s.x, blk.ffn.L1.W.Value)
+		biasReLUInPlace(s.ffnH, blk.ffn.L1.B.Value)
+		tensor.MatMulInto(s.sub, s.ffnH, blk.ffn.L2.W.Value)
+		addBiasInPlace(s.sub, blk.ffn.L2.B.Value)
+		addInPlace(s.x, s.sub)
+		layerNormInPlace(s.x, blk.ln2)
+	}
+
+	// Last block, compact: every position still contributes keys and
+	// values, but only each sequence's last real position is queried,
+	// normalized and fed through the FFN — the rest would be discarded
+	// by the read-out.
+	blk := m.blocks[len(m.blocks)-1]
+	s.attL = ensureMat(s.attL, B, h)
+	s.subL = ensureMat(s.subL, B, h)
+	s.ffnL = ensureMat(s.ffnL, B, h)
+	s.outL = ensureMat(s.outL, B, h)
+	s.attention(blk.att, B, L, true)
+	for i := 0; i < B; i++ {
+		lastRow := s.x.Row(i*L + s.lens[i] - 1)
+		out := s.outL.Row(i)
+		sub := s.subL.Row(i)
+		for c := range out {
+			out[c] = lastRow[c] + sub[c]
+		}
+	}
+	layerNormInPlace(s.outL, blk.ln1)
+	tensor.MatMulInto(s.ffnL, s.outL, blk.ffn.L1.W.Value)
+	biasReLUInPlace(s.ffnL, blk.ffn.L1.B.Value)
+	tensor.MatMulInto(s.subL, s.ffnL, blk.ffn.L2.W.Value)
+	addBiasInPlace(s.subL, blk.ffn.L2.B.Value)
+	addInPlace(s.outL, s.subL)
+	layerNormInPlace(s.outL, blk.ln2)
+	return s.outL
+}
+
+// attention computes one masked multi-head attention layer (Eqs. 2–4)
+// over the B stacked L-row sequences in s.x, leaving the projected
+// output in s.sub. Scores never cross sequence boundaries, and key
+// columns beyond a sequence's real length get exactly zero weight.
+// With last set, only each sequence's final real position is queried
+// (all positions still serve as keys and values) and the projected
+// B x h output lands in s.subL instead.
+func (s *Scorer) attention(a *nn.MultiHeadAttention, B, L int, last bool) {
+	h := a.WQ.Value.Rows
+	dk := h / a.Heads
+	scale := 1 / math.Sqrt(float64(h))
+
+	// One fused projection pass: Q, K and V share the input, so
+	// concatenating their weights column-wise computes all three with a
+	// single sweep over the activations. Each output element is the same
+	// k-ascending dot product as three separate matmuls.
+	for r := 0; r < h; r++ {
+		row := s.wqkv.Row(r)
+		copy(row[:h], a.WQ.Value.Row(r))
+		copy(row[h:2*h], a.WK.Value.Row(r))
+		copy(row[2*h:], a.WV.Value.Row(r))
+	}
+	tensor.MatMulInto(s.qkv, s.x, s.wqkv)
+	heads := s.att
+	if last {
+		heads = s.attL
+	}
+	heads.Zero()
+
+	for head := 0; head < a.Heads; head++ {
+		qlo := head * dk
+		klo, vlo := h+qlo, 2*h+qlo
+		for b := 0; b < B; b++ {
+			base := b * L
+			n := s.lens[b]
+			// Score block: scaled dot products plus the kind mask, with
+			// padded key columns forced to -1e9. Kind-masked pairs skip
+			// the dot entirely: their softmax term underflows to zero
+			// either way.
+			lo := 0
+			if last {
+				lo = n - 1
+			}
+			for i := lo; i < n || (!last && i < L); i++ {
+				qrow := s.qkv.Row(base + i)[qlo : qlo+dk]
+				srow := s.scores[i*L : (i+1)*L]
+				mrow := s.mask.Row(i)
+				for j := 0; j < n; j++ {
+					if mrow[j] != 0 {
+						srow[j] = nn.MaskedScore
+						continue
+					}
+					krow := s.qkv.Row(base+j)[klo : klo+dk]
+					var dot float64
+					for c, qv := range qrow {
+						dot += qv * krow[c]
+					}
+					srow[j] = dot * scale
+				}
+				for j := n; j < L; j++ {
+					srow[j] = nn.MaskedScore
+				}
+				tensor.SoftmaxInto(srow, srow)
+				// Weighted read-out into this head's output stripe; the
+				// masked weights are exactly zero and skipped.
+				var out []float64
+				if last {
+					out = heads.Row(b)[qlo : qlo+dk]
+				} else {
+					out = heads.Row(base + i)[qlo : qlo+dk]
+				}
+				for j, w := range srow {
+					if w == 0 {
+						continue
+					}
+					vrow := s.qkv.Row(base+j)[vlo : vlo+dk]
+					for c, vv := range vrow {
+						out[c] += w * vv
+					}
+				}
+			}
+		}
+	}
+	if last {
+		tensor.MatMulInto(s.subL, heads, a.WO.Value)
+	} else {
+		tensor.MatMulInto(s.sub, heads, a.WO.Value)
+	}
+}
+
+// ensureMat resizes m to rows x cols, reusing its backing array when
+// large enough. Contents are unspecified; callers overwrite fully.
+func ensureMat(m *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	need := rows * cols
+	if m == nil || cap(m.Data) < need {
+		return tensor.NewMatrix(rows, cols)
+	}
+	m.Data = m.Data[:need]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+func zeroRow(row []float64) {
+	for i := range row {
+		row[i] = 0
+	}
+}
+
+// addInPlace accumulates dst += src elementwise.
+func addInPlace(dst, src *tensor.Matrix) {
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+}
+
+// layerNormInPlace applies Eq. 6 row-wise: x = g ⊙ (x-μ)/√(σ²+ε) + b,
+// with the same operation order as the tape path (NormalizeRows, gain,
+// bias) so results match to the bit.
+func layerNormInPlace(x *tensor.Matrix, ln *nn.LayerNorm) {
+	gain, bias := ln.Gain.Value.Data, ln.Bias.Value.Data
+	nf := float64(x.Cols)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		var mu float64
+		for _, v := range row {
+			mu += v
+		}
+		mu /= nf
+		var va float64
+		for _, v := range row {
+			d := v - mu
+			va += d * d
+		}
+		va /= nf
+		inv := 1 / math.Sqrt(va+ln.Eps)
+		for c, v := range row {
+			row[c] = (v-mu)*inv*gain[c] + bias[c]
+		}
+	}
+}
+
+// biasReLUInPlace applies x = max(0, x + b) row-wise (Eq. 7's first
+// stage after the matmul).
+func biasReLUInPlace(x *tensor.Matrix, b *tensor.Matrix) {
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		for c := range row {
+			row[c] = math.Max(0, row[c]+b.Data[c])
+		}
+	}
+}
+
+// addBiasInPlace applies x = x + b row-wise.
+func addBiasInPlace(x *tensor.Matrix, b *tensor.Matrix) {
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		for c := range row {
+			row[c] += b.Data[c]
+		}
+	}
+}
