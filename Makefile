@@ -27,11 +27,12 @@ check: vet build race
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# A fast scoring-benchmark pass (sub-minute) that CI runs on every
-# build: it does not gate on throughput numbers, but catches scoring
+# A fast scoring/training-benchmark pass (sub-minute) that CI runs on
+# every build: it does not gate on throughput numbers, but catches hot
 # paths that break outright or regress catastrophically.
 bench-smoke:
 	$(GO) test -bench='BenchmarkScoreBatch|BenchmarkDetectionScore' -benchtime=100ms -run='^$$' .
+	$(GO) test -bench=BenchmarkTrainEpoch -benchtime=1x -benchmem -run='^$$' .
 	$(GO) test -bench=BenchmarkScoreSequentialTape -benchtime=100ms -run='^$$' ./internal/transdas/
 
 serve-bench:

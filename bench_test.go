@@ -177,6 +177,52 @@ func BenchmarkTrainingWindow(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainEpoch measures one full training epoch of the
+// data-parallel trainer over a Scenario-I corpus across worker counts
+// and mini-batch sizes. windows/sec is the headline metric; the
+// workers=1/batch=1 cell is the paper's sequential SGD baseline the
+// speedup is measured against. Worker counts above runtime.NumCPU()
+// add no parallelism, so the sweep stops there.
+func BenchmarkTrainEpoch(b *testing.B) {
+	gen := workload.NewGenerator(workload.ScenarioI(), 1)
+	sessions := gen.GenerateSessions(40)
+	v := sqlnorm.NewVocabulary()
+	keySeqs := make([][]int, len(sessions))
+	for i, s := range sessions {
+		keys := make([]int, len(s.Ops))
+		for j := range s.Ops {
+			keys[j] = v.Learn(s.Ops[j].SQL)
+		}
+		keySeqs[i] = keys
+	}
+
+	workerCounts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		for _, batch := range []int{1, 16} {
+			b.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(b *testing.B) {
+				cfg := transdas.DefaultConfig(v.Size())
+				cfg.Epochs = 1
+				cfg.TrainWorkers = workers
+				cfg.BatchSize = batch
+				m := transdas.New(cfg)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var windows int
+				for i := 0; i < b.N; i++ {
+					res := m.Train(keySeqs, nil)
+					windows = res.Windows
+				}
+				if elapsed := b.Elapsed(); elapsed > 0 && windows > 0 {
+					b.ReportMetric(float64(b.N)*float64(windows)/elapsed.Seconds(), "windows/sec")
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkDetectionScore(b *testing.B) {
 	cfg := transdas.DefaultConfig(600)
 	cfg.Hidden, cfg.Heads = 64, 8

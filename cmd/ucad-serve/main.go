@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ucad-serve -model ucad.model [-addr :8844] [-workers 4] [-pprof]
+//	ucad-serve -model ucad.model [-addr :8844] [-workers 4] [-train-workers 0] [-batch-size 16] [-pprof]
 //
 // API:
 //
@@ -46,6 +46,8 @@ func main() {
 	sweep := flag.Duration("sweep-every", 15*time.Second, "idle close-out sweep period")
 	retrainAfter := flag.Int("retrain-after", 0, "fine-tune when the verified pool reaches this many sessions (0 disables)")
 	retrainEpochs := flag.Int("retrain-epochs", 2, "epochs per fine-tune round")
+	trainWorkers := flag.Int("train-workers", 0, "data-parallel workers per fine-tune round (<=0 uses all CPUs)")
+	batchSize := flag.Int("batch-size", 16, "windows per SGD step during fine-tune (gradients summed across the mini-batch)")
 	maxResolved := flag.Int("max-resolved-alerts", 4096, "resolved alerts retained in memory (negative = unbounded)")
 	resolvedTTL := flag.Duration("resolved-alert-ttl", 24*time.Hour, "evict resolved alerts after this age (negative disables)")
 	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/")
@@ -56,8 +58,13 @@ func main() {
 	u, err := core.Load(mf)
 	mf.Close()
 	fatalIf(err)
+	// The persisted config keeps whatever parallelism the model was
+	// trained with; the serving flags decide what fine-tune rounds use
+	// on this host.
+	u.Model.SetTrainParallelism(*trainWorkers, *batchSize)
 	mcfg := u.Model.Config()
-	fmt.Printf("model loaded: vocab=%d window=%d top-p=%d\n", mcfg.Vocab, mcfg.Window, mcfg.TopP)
+	fmt.Printf("model loaded: vocab=%d window=%d top-p=%d (fine-tune: %d workers, batch %d)\n",
+		mcfg.Vocab, mcfg.Window, mcfg.TopP, mcfg.EffectiveTrainWorkers(), *batchSize)
 
 	svc := serve.NewService(u, serve.Config{
 		Workers:           *workers,

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ucad train  -log normal.jsonl -model ucad.model [-epochs 20]
+//	ucad train  -log normal.jsonl -model ucad.model [-epochs 20] [-train-workers N] [-batch-size B]
 //	ucad detect -log active.jsonl -model ucad.model
 //
 // Audit logs are JSON lines with fields ts, user, addr, session_id and
@@ -50,6 +50,8 @@ func runTrain(args []string) {
 	hidden := fs.Int("hidden", 0, "override latent dimension h")
 	skipClean := fs.Bool("skip-clean", false, "disable clustering-based noise removal")
 	seed := fs.Int64("seed", 1, "random seed")
+	trainWorkers := fs.Int("train-workers", 1, "data-parallel training workers (<=0 uses all CPUs; 1 with -batch-size 1 is the paper's sequential SGD)")
+	batchSize := fs.Int("batch-size", 1, "windows per SGD step (gradients are summed across the mini-batch)")
 	metricsOut := fs.String("metrics-out", "", "write training metrics (Prometheus text format) to this file")
 	fs.Parse(args)
 	if *logPath == "" {
@@ -80,6 +82,8 @@ func runTrain(args []string) {
 			cfg.Model.Heads--
 		}
 	}
+	cfg.Model.TrainWorkers = *trainWorkers
+	cfg.Model.BatchSize = *batchSize
 
 	// Training instrumentation: the same obs gauges the serving layer
 	// exports feed the progress printout, and -metrics-out persists the
@@ -89,7 +93,11 @@ func runTrain(args []string) {
 	epochsTotal := reg.Counter("ucad_train_epochs_total", "Training epochs completed.")
 	epochSeconds := reg.Histogram("ucad_train_epoch_seconds", "Wall-clock duration per training epoch.",
 		obs.ExponentialBuckets(0.01, 4, 8))
+	workersGauge := reg.Gauge("ucad_train_workers", "Data-parallel training workers in use.")
+	workersGauge.Set(float64(cfg.Model.EffectiveTrainWorkers()))
 
+	fmt.Printf("training: %d workers, batch size %d\n",
+		cfg.Model.EffectiveTrainWorkers(), *batchSize)
 	start := time.Now()
 	lastEpoch := start
 	u, err := core.TrainFromLog(cfg, f, func(epoch int, loss float64) {

@@ -21,7 +21,10 @@ import (
 // Config configures a full UCAD training run.
 type Config struct {
 	// Model configures Trans-DAS; Model.Vocab is filled automatically
-	// from the learned vocabulary.
+	// from the learned vocabulary. Model.TrainWorkers and
+	// Model.BatchSize select data-parallel mini-batch training for both
+	// the offline Train and every later FineTune round; the defaults
+	// (1, 1) are the paper's sequential SGD trajectory.
 	Model transdas.Config
 	// Clean configures the clustering-based noise removal.
 	Clean preprocess.CleanConfig

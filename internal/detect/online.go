@@ -76,11 +76,12 @@ func (s RetrainStats) WindowsPerSecond() float64 {
 }
 
 // TrainHooks receives training progress from Retrain. Epoch fires after
-// every fine-tune epoch (from the retraining goroutine, while the model
-// lock is held — keep it cheap, e.g. a gauge store); Done fires once
-// per completed round. Either may be nil.
+// every fine-tune epoch with the epoch's mean loss and wall-clock
+// duration (from the retraining goroutine, while the model lock is
+// held — keep it cheap, e.g. a gauge store and histogram observe); Done
+// fires once per completed round. Either may be nil.
 type TrainHooks struct {
-	Epoch func(epoch int, loss float64)
+	Epoch func(epoch int, loss float64, took time.Duration)
 	Done  func(RetrainStats)
 }
 
@@ -170,6 +171,9 @@ func (o *Online) VerifiedCount() int {
 // one round of the paper's periodic training (§3). It returns the
 // number of sessions absorbed. Concurrent Process/RankAt calls block
 // for the duration of the fine-tune and resume on the updated model.
+// The fine-tune runs with the model's configured data-parallel
+// training (TrainWorkers/BatchSize), shortening the write-locked
+// window on multi-core hosts.
 func (o *Online) Retrain(epochs int) int {
 	o.mu.Lock()
 	pool := o.verified
@@ -180,8 +184,17 @@ func (o *Online) Retrain(epochs int) int {
 		return 0
 	}
 	start := time.Now()
+	var progress func(int, float64)
+	if hooks.Epoch != nil {
+		lastEpoch := start
+		progress = func(epoch int, loss float64) {
+			now := time.Now()
+			hooks.Epoch(epoch, loss, now.Sub(lastEpoch))
+			lastEpoch = now
+		}
+	}
 	o.modelMu.Lock()
-	res := o.ucad.FineTune(pool, epochs, hooks.Epoch)
+	res := o.ucad.FineTune(pool, epochs, progress)
 	o.modelMu.Unlock()
 	if hooks.Done != nil {
 		st := RetrainStats{

@@ -2,6 +2,7 @@ package detect
 
 import (
 	"testing"
+	"time"
 
 	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/workload"
@@ -99,7 +100,7 @@ func TestTrainHooksFireOnRetrain(t *testing.T) {
 	var epochs []float64
 	var dones []RetrainStats
 	o.SetTrainHooks(TrainHooks{
-		Epoch: func(epoch int, loss float64) { epochs = append(epochs, loss) },
+		Epoch: func(epoch int, loss float64, took time.Duration) { epochs = append(epochs, loss) },
 		Done:  func(st RetrainStats) { dones = append(dones, st) },
 	})
 

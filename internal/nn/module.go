@@ -39,6 +39,20 @@ func ZeroGrads(params []*tensor.Param) {
 	}
 }
 
+// AccumulateGrads folds externally held gradient buffers into the
+// parameters' shared gradients: params[i].Grad += grads[i]. Data-parallel
+// trainers call it once per worker in a fixed worker order before the
+// optimizer step, so the reduced mini-batch gradient is a reproducible
+// floating-point sum. grads must align with params index-for-index.
+func AccumulateGrads(params []*tensor.Param, grads []*tensor.Matrix) {
+	if len(grads) != len(params) {
+		panic(fmt.Sprintf("nn: %d gradient buffers for %d params", len(grads), len(params)))
+	}
+	for i, p := range params {
+		tensor.AddInto(p.Grad, grads[i])
+	}
+}
+
 // ClipGradNorm rescales all gradients so their global L2 norm is at most
 // max. It returns the pre-clip norm.
 func ClipGradNorm(params []*tensor.Param, max float64) float64 {

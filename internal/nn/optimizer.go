@@ -7,6 +7,12 @@ import (
 )
 
 // Optimizer updates parameters from their accumulated gradients.
+//
+// Step is agnostic to how p.Grad was produced: a single tape backward
+// pass (sequential SGD) or an externally reduced sum over data-parallel
+// workers (see AccumulateGrads) — it consumes whatever gradient is
+// accumulated and zeroes it. Callers that shard a mini-batch across
+// workers therefore reduce first and call Step exactly once per batch.
 type Optimizer interface {
 	// Step applies one update and zeroes the gradients.
 	Step(params []*tensor.Param)

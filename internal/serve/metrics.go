@@ -37,6 +37,9 @@ type Metrics struct {
 	trainEpochLoss     *obs.Gauge
 	trainWindowsPerSec *obs.Gauge
 	trainEpochs        *obs.Counter
+	// trainEpochSeconds distributes per-epoch fine-tune wall time — the
+	// direct readout of data-parallel training speedup in production.
+	trainEpochSeconds *obs.Histogram
 }
 
 // NewMetrics registers the serving layer's owned instruments on reg
@@ -71,6 +74,9 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Training throughput of the most recent fine-tune round."),
 		trainEpochs: reg.Counter("ucad_train_epochs_total",
 			"Fine-tune epochs completed since start."),
+		trainEpochSeconds: reg.Histogram("ucad_train_epoch_seconds",
+			"Wall-clock duration per fine-tune epoch.",
+			obs.ExponentialBuckets(0.01, 4, 8)),
 	}
 }
 
@@ -125,6 +131,9 @@ func (m *Metrics) bind(s *Service) {
 		func() float64 { return float64(s.engine.QueueDepth()) })
 	reg.GaugeFunc("ucad_scoring_workers",
 		"Size of the scoring worker pool.", func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("ucad_train_workers",
+		"Data-parallel training workers used by fine-tune rounds.",
+		func() float64 { return float64(s.ucad.Model.Config().EffectiveTrainWorkers()) })
 	reg.GaugeFunc("ucad_uptime_seconds",
 		"Seconds since the service was constructed.",
 		func() float64 { return s.cfg.Clock().Sub(s.start).Seconds() })

@@ -142,9 +142,10 @@ func NewService(u *core.UCAD, cfg Config) *Service {
 	m := s.metrics
 	s.engine.instrument(m.queueWaitSeconds, m.scoreSeconds, m.scoreBatchSize)
 	s.online.SetTrainHooks(detect.TrainHooks{
-		Epoch: func(epoch int, loss float64) {
+		Epoch: func(epoch int, loss float64, took time.Duration) {
 			m.trainEpochLoss.Set(loss)
 			m.trainEpochs.Inc()
+			m.trainEpochSeconds.Observe(took.Seconds())
 		},
 		Done: func(st detect.RetrainStats) {
 			m.retrainSeconds.Observe(st.Duration.Seconds())

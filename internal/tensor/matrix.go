@@ -89,6 +89,32 @@ func (m *Matrix) Fill(v float64) {
 // SameShape reports whether m and o have identical dimensions.
 func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
 
+// AddInto accumulates dst += src element-wise. It is the gradient
+// reduction primitive of the data-parallel trainer: per-worker
+// accumulators are folded into the shared parameter gradient in a fixed
+// order, so the floating-point sum is reproducible across runs.
+func AddInto(dst, src *Matrix) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("tensor: addinto shape mismatch %dx%d += %dx%d",
+			dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+}
+
+// ScaleInto writes dst = s·src element-wise (dst may alias src for an
+// in-place scale).
+func ScaleInto(dst, src *Matrix, s float64) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("tensor: scaleinto shape mismatch %dx%d = s*%dx%d",
+			dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = s * v
+	}
+}
+
 // RowsView returns rows [from, to) as a matrix sharing m's backing
 // array. Writes through the view are visible in m; the view must not
 // outlive reshapes of m.

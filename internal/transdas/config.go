@@ -8,6 +8,7 @@ package transdas
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/ucad/ucad/internal/nn"
 )
@@ -80,6 +81,21 @@ type Config struct {
 	// an operation is judged during detection.
 	MinContext int
 
+	// BatchSize is the number of windows per optimizer step: gradients
+	// of a mini-batch are summed across windows (and workers) before a
+	// single SGD step. ≤0 means 1 — one step per window, the paper's
+	// sequential SGD trajectory.
+	BatchSize int
+	// TrainWorkers is the data-parallel training worker count: windows
+	// of each mini-batch are sharded across this many goroutines, each
+	// with a private tape, gradient accumulators and negative-sampling
+	// RNG stream, and the per-worker gradients are reduced in a fixed
+	// param/worker order before the step. ≤0 means GOMAXPROCS. A given
+	// (Seed, BatchSize, TrainWorkers) is bit-reproducible across runs;
+	// TrainWorkers=1 with BatchSize=1 reproduces the sequential
+	// trajectory exactly (it trains on the model's own RNG stream).
+	TrainWorkers int
+
 	// Mask selects the attention mask (ablation: §4.3).
 	Mask nn.MaskKind
 	// Positional enables a learnable position embedding (ablation: the
@@ -117,6 +133,12 @@ func DefaultConfig(vocab int) Config {
 		Positional:  false,
 		Objective:   ObjectiveTripletCE,
 		Seed:        1,
+		// Paper-faithful sequential SGD by default so every experiment
+		// reproduction keeps its exact trajectory; opt in to
+		// data-parallel training by raising these (or clearing them to
+		// ≤0 for GOMAXPROCS workers).
+		BatchSize:    1,
+		TrainWorkers: 1,
 	}
 }
 
@@ -158,6 +180,24 @@ func (c Config) Validate() error {
 func (c Config) stride() int {
 	if c.Stride > 0 {
 		return c.Stride
+	}
+	return 1
+}
+
+// EffectiveTrainWorkers resolves TrainWorkers: ≤0 means GOMAXPROCS.
+// Exported so instrumentation (the ucad_train_workers gauge) reports
+// the worker count training actually uses.
+func (c Config) EffectiveTrainWorkers() int {
+	if c.TrainWorkers > 0 {
+		return c.TrainWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// effectiveBatchSize resolves BatchSize: ≤0 means 1.
+func (c Config) effectiveBatchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
 	}
 	return 1
 }

@@ -3,6 +3,7 @@ package transdas
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ucad/ucad/internal/nn"
 	"github.com/ucad/ucad/internal/tensor"
@@ -40,6 +41,12 @@ type Model struct {
 	// (ScoreNext, RankOf, DetectSession, ...), so concurrent detection
 	// reuses warm scratch buffers instead of allocating per call.
 	scorers sync.Pool
+
+	// negWarn fires the degenerate-vocabulary warning once per model;
+	// degenerateVocab records that it fired (training fell back to the
+	// CE-only objective because no negative key exists to sample).
+	negWarn         sync.Once
+	degenerateVocab atomic.Bool
 }
 
 // New builds a model from the configuration. It panics on an invalid
@@ -80,13 +87,31 @@ func New(cfg Config) *Model {
 // Config returns a copy of the model's configuration.
 func (m *Model) Config() Config { return m.cfg }
 
+// SetTrainParallelism overrides the training mini-batch size and
+// data-parallel worker count — the serving layer applies its flags to a
+// loaded model with this before the first fine-tune (the persisted
+// configuration keeps whatever the model was trained with). It must not
+// be called concurrently with Train/FineTune.
+func (m *Model) SetTrainParallelism(workers, batchSize int) {
+	m.cfg.TrainWorkers = workers
+	m.cfg.BatchSize = batchSize
+}
+
 // Params returns the trainable parameters (implements nn.Module).
 func (m *Model) Params() []*tensor.Param { return m.params }
 
 // forward runs the stacked attention blocks over a key window of length
-// ≤ cfg.Window and returns the L x h output O^(B) (Eqs. 8–9).
+// ≤ cfg.Window and returns the L x h output O^(B) (Eqs. 8–9). Dropout
+// (train=true only) draws from the model's own RNG stream.
 func (m *Model) forward(tp *tensor.Tape, keys []int, train bool) *tensor.Node {
-	return m.forwardBatch(tp, keys, 1, nil, train)
+	return m.forwardRNG(tp, keys, train, m.rng)
+}
+
+// forwardRNG is forward with an explicit dropout RNG, so data-parallel
+// training workers draw from private per-worker streams instead of
+// racing on the model's.
+func (m *Model) forwardRNG(tp *tensor.Tape, keys []int, train bool, rng *rand.Rand) *tensor.Node {
+	return m.forwardBatch(tp, keys, 1, nil, train, rng)
 }
 
 // forwardBatch runs the stacked attention blocks over batch key windows
@@ -95,7 +120,7 @@ func (m *Model) forward(tp *tensor.Tape, keys []int, train bool) *tensor.Node {
 // means all windows fill L); padded positions carry PadKey and are
 // excluded from attention by the padding mask, so row b·L+i of the
 // output equals row i of an unbatched forward over window b alone.
-func (m *Model) forwardBatch(tp *tensor.Tape, keys []int, batch int, lengths []int, train bool) *tensor.Node {
+func (m *Model) forwardBatch(tp *tensor.Tape, keys []int, batch int, lengths []int, train bool, rng *rand.Rand) *tensor.Node {
 	L := len(keys) / batch
 	x := m.emb.Lookup(tp, keys)
 	if m.pos != nil {
@@ -115,7 +140,7 @@ func (m *Model) forwardBatch(tp *tensor.Tape, keys []int, batch int, lengths []i
 	}
 	mask := nn.BuildBatchMask(m.cfg.Mask, batch, L, lengths)
 	for _, b := range m.blocks {
-		x = b.forward(tp, x, batch, mask, m.cfg.Dropout, train, m.rng)
+		x = b.forward(tp, x, batch, mask, m.cfg.Dropout, train, rng)
 	}
 	return x
 }

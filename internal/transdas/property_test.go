@@ -172,7 +172,7 @@ func TestSampleNegativesInvariant(t *testing.T) {
 			keys[i] = 1 + rng.Intn(m.cfg.Vocab-1)
 		}
 		for _, w := range extractWindows(keys, m.cfg.Window, 1) {
-			neg := m.sampleNegatives(w)
+			neg := m.sampleNegativesInto(nil, w, m.rng)
 			for i, nk := range neg {
 				if w.targets[i] < 0 {
 					if nk != -1 {

@@ -1,6 +1,9 @@
 package transdas
 
 import (
+	"log"
+	"math/rand"
+
 	"github.com/ucad/ucad/internal/nn"
 	"github.com/ucad/ucad/internal/tensor"
 )
@@ -13,7 +16,7 @@ type window struct {
 	targets []int
 	// sessionKeys is the set of keys appearing in the source session;
 	// negative samples are drawn from its complement (§5.2's negative
-	// sampling rule).
+	// sampling rule). All windows of one session share the same set.
 	sessionKeys map[int]bool
 }
 
@@ -24,6 +27,10 @@ type window struct {
 // so each next-operation prediction is trained in the same
 // pure-history configuration that online detection reads from the
 // final output position. Early windows are shorter than L.
+//
+// The window count is known up front, so the slice and one flat target
+// buffer are allocated exactly once; keys are sub-slices of the session
+// and every window shares the single per-session key set.
 func extractWindows(keys []int, L, stride int) []window {
 	if len(keys) < 2 {
 		return nil
@@ -32,27 +39,40 @@ func extractWindows(keys []int, L, stride int) []window {
 	for _, k := range keys {
 		set[k] = true
 	}
-	var out []window
+	n := ((len(keys) - 2) / stride) + 1 // window ends t = 0, stride, … < len-1
+	out := make([]window, 0, n)
+	flatLen := 0
+	for t := 0; t < len(keys)-1; t += stride {
+		start := t - L + 1
+		if start < 0 {
+			start = 0
+		}
+		flatLen += t + 1 - start
+	}
+	flat := make([]int, 0, flatLen)
 	for t := 0; t < len(keys)-1; t += stride {
 		start := t - L + 1
 		if start < 0 {
 			start = 0
 		}
 		in := keys[start : t+1]
-		targets := make([]int, len(in))
-		for j := range in {
-			targets[j] = keys[start+j+1]
-		}
-		out = append(out, window{keys: in, targets: targets, sessionKeys: set})
+		from := len(flat)
+		flat = append(flat, keys[start+1:t+2]...)
+		out = append(out, window{keys: in, targets: flat[from:len(flat):len(flat)], sessionKeys: set})
 	}
 	return out
 }
 
-// sampleNegatives draws, for each position, a key that never appears in
-// the session (falling back to any non-target key when the session
-// covers nearly the whole vocabulary).
-func (m *Model) sampleNegatives(w window) []int {
-	neg := make([]int, len(w.targets))
+// sampleNegativesInto draws, for each position, a key that never appears
+// in the session (falling back to any non-target key when the session
+// covers nearly the whole vocabulary), writing into dst (grown as
+// needed) and returning it. Draws come from rng so each data-parallel
+// worker samples from its own deterministic stream.
+func (m *Model) sampleNegativesInto(dst []int, w window, rng *rand.Rand) []int {
+	if cap(dst) < len(w.targets) {
+		dst = make([]int, len(w.targets))
+	}
+	neg := dst[:len(w.targets)]
 	vocab := m.cfg.Vocab
 	for i, tgt := range w.targets {
 		if tgt < 0 {
@@ -61,7 +81,7 @@ func (m *Model) sampleNegatives(w window) []int {
 		}
 		neg[i] = -1
 		for attempt := 0; attempt < 20; attempt++ {
-			k := 1 + m.rng.Intn(vocab-1)
+			k := 1 + rng.Intn(vocab-1)
 			if !w.sessionKeys[k] {
 				neg[i] = k
 				break
@@ -69,7 +89,7 @@ func (m *Model) sampleNegatives(w window) []int {
 		}
 		if neg[i] < 0 { // dense session: any key except the target
 			for attempt := 0; attempt < 20; attempt++ {
-				k := 1 + m.rng.Intn(vocab-1)
+				k := 1 + rng.Intn(vocab-1)
 				if k != tgt {
 					neg[i] = k
 					break
@@ -86,9 +106,27 @@ func (m *Model) sampleNegatives(w window) []int {
 //
 // averaged over valid positions. z_i^± = sigmoid(O_i · M(x_±)) (Eq. 10).
 // The ‖θ‖₂ term is applied as decoupled weight decay in the SGD step.
-func (m *Model) windowLoss(tp *tensor.Tape, w window, train bool) (*tensor.Node, int) {
-	out := m.forward(tp, w.keys, train)
-	neg := m.sampleNegatives(w)
+//
+// rng drives dropout and negative sampling (the caller's worker
+// stream); negBuf is an optional reusable negative-sample buffer,
+// returned (possibly grown) for the next call.
+func (m *Model) windowLoss(tp *tensor.Tape, w window, train bool, rng *rand.Rand, negBuf []int) (*tensor.Node, int, []int) {
+	out := m.forwardRNG(tp, w.keys, train, rng)
+
+	// A vocabulary of k0 plus one key cannot yield a negative sample:
+	// the 20-attempt loops would emit -1 for every position and the
+	// triplet term would train against the constant zero embedding.
+	// Fall back to the one-class CE objective for such windows.
+	useTriplet := m.cfg.Objective == ObjectiveTripletCE
+	if useTriplet && m.cfg.Vocab <= 2 {
+		useTriplet = false
+		m.warnDegenerateVocab()
+	} else {
+		// One round of negatives is drawn here regardless of objective
+		// (the CE-only ablation consumes but ignores it), preserving the
+		// exact RNG order of the pre-parallel trainer.
+		negBuf = m.sampleNegativesInto(negBuf, w, rng)
+	}
 
 	valid := 0
 	maskData := make([]float64, len(w.targets))
@@ -99,7 +137,7 @@ func (m *Model) windowLoss(tp *tensor.Tape, w window, train bool) (*tensor.Node,
 		}
 	}
 	if valid == 0 {
-		return nil, 0
+		return nil, 0, negBuf
 	}
 	mask := tp.Const(tensor.FromSlice(len(w.targets), 1, maskData))
 
@@ -109,27 +147,39 @@ func (m *Model) windowLoss(tp *tensor.Tape, w window, train bool) (*tensor.Node,
 
 	ce := tp.Scale(tp.Log(zpos), -1)
 	perPos := ce
-	if m.cfg.Objective == ObjectiveTripletCE {
+	if useTriplet {
 		negRounds := m.cfg.NegSamples
 		if negRounds <= 0 {
 			negRounds = 1
 		}
 		for r := 0; r < negRounds; r++ {
 			if r > 0 {
-				neg = m.sampleNegatives(w)
+				negBuf = m.sampleNegativesInto(negBuf, w, rng)
 			}
-			negEmb := tp.GatherRows(table, clampIdx(neg, m.cfg.Vocab))
+			negEmb := tp.GatherRows(table, clampIdx(negBuf, m.cfg.Vocab))
 			zneg := tp.Sigmoid(tp.RowDot(out, negEmb))
 			hinge := tp.ReLU(tp.AddScalar(tp.Sub(zneg, zpos), m.cfg.Margin))
 			perPos = tp.Add(perPos, tp.Scale(hinge, 1/float64(negRounds)))
 		}
 	}
 	loss := tp.Scale(tp.Sum(tp.Mul(perPos, mask)), 1/float64(valid))
-	return loss, valid
+	return loss, valid, negBuf
+}
+
+// warnDegenerateVocab records (once per model, with a log line) that the
+// triplet objective was disabled because the vocabulary has no key to
+// sample negatives from.
+func (m *Model) warnDegenerateVocab() {
+	m.negWarn.Do(func() {
+		m.degenerateVocab.Store(true)
+		log.Printf("transdas: vocab %d has no negative-sample candidates; training with the CE-only objective", m.cfg.Vocab)
+	})
 }
 
 // clampIdx maps invalid or padding keys to -1 so GatherRows yields a
-// zero (gradient-free) row for them.
+// zero (gradient-free) row for them. It must copy: GatherRows retains
+// the index slice for the backward pass, while the caller's buffer is
+// reused across sampling rounds.
 func clampIdx(keys []int, vocab int) []int {
 	out := make([]int, len(keys))
 	for i, k := range keys {
@@ -152,6 +202,9 @@ type TrainResult struct {
 
 // Train fits the model on normal sessions (each a statement-key
 // sequence) for cfg.Epochs epochs of SGD, shuffling windows each epoch.
+// With cfg.BatchSize/cfg.TrainWorkers raised it trains data-parallel:
+// each mini-batch's windows are sharded across workers and their
+// gradients reduced into one SGD step (see train_parallel.go).
 // progress, if non-nil, is called after every epoch.
 func (m *Model) Train(sessions [][]int, progress func(epoch int, loss float64)) TrainResult {
 	return m.train(sessions, m.cfg.Epochs, m.cfg.LR, progress)
@@ -167,10 +220,30 @@ func (m *Model) FineTune(sessions [][]int, epochs int, progress func(epoch int, 
 }
 
 func (m *Model) train(sessions [][]int, epochs int, lr float64, progress func(int, float64)) TrainResult {
+	windows := m.collectWindows(sessions)
+	return m.trainWindows(windows, epochs, lr, progress)
+}
+
+// collectWindows extracts and concatenates the training windows of all
+// sessions, sized exactly up front.
+func (m *Model) collectWindows(sessions [][]int) []window {
 	var windows []window
 	for _, s := range sessions {
-		windows = append(windows, extractWindows(s, m.cfg.Window, m.cfg.stride())...)
+		ws := extractWindows(s, m.cfg.Window, m.cfg.stride())
+		if windows == nil && len(ws) > 0 {
+			windows = make([]window, 0, len(ws)*len(sessions))
+		}
+		windows = append(windows, ws...)
 	}
+	return windows
+}
+
+// trainSequential is the pre-parallel reference trajectory: one window,
+// one tape, one SGD step, all randomness from the model's own stream.
+// The data-parallel trainer with TrainWorkers=1 and BatchSize=1 is
+// bit-identical to it (asserted by the equivalence tests); it is kept
+// as the executable specification the tests compare against.
+func (m *Model) trainSequential(windows []window, epochs int, lr float64, progress func(int, float64)) TrainResult {
 	res := TrainResult{Windows: len(windows)}
 	if len(windows) == 0 {
 		return res
@@ -180,28 +253,21 @@ func (m *Model) train(sessions [][]int, epochs int, lr float64, progress func(in
 	for i := range order {
 		order[i] = i
 	}
+	var negBuf []int
 	for epoch := 0; epoch < epochs; epoch++ {
 		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var total float64
 		var count int
 		for _, wi := range order {
 			tp := tensor.NewTape()
-			loss, valid := m.windowLoss(tp, windows[wi], true)
+			var loss *tensor.Node
+			var valid int
+			loss, valid, negBuf = m.windowLoss(tp, windows[wi], true, m.rng, negBuf)
 			if loss == nil {
 				continue
 			}
 			tp.Backward(loss)
-			if m.cfg.WeightDecay > 0 {
-				for _, p := range m.params {
-					for i, v := range p.Value.Data {
-						p.Grad.Data[i] += m.cfg.WeightDecay * v
-					}
-				}
-			}
-			if m.cfg.ClipNorm > 0 {
-				nn.ClipGradNorm(m.params, m.cfg.ClipNorm)
-			}
-			opt.Step(m.params)
+			m.applyStep(opt)
 			total += loss.Value.Data[0] * float64(valid)
 			count += valid
 		}
@@ -215,4 +281,20 @@ func (m *Model) train(sessions [][]int, epochs int, lr float64, progress func(in
 		}
 	}
 	return res
+}
+
+// applyStep finishes one optimizer step from the gradients accumulated
+// in m.params: decoupled weight decay, global-norm clipping, SGD update.
+func (m *Model) applyStep(opt *nn.SGD) {
+	if m.cfg.WeightDecay > 0 {
+		for _, p := range m.params {
+			for i, v := range p.Value.Data {
+				p.Grad.Data[i] += m.cfg.WeightDecay * v
+			}
+		}
+	}
+	if m.cfg.ClipNorm > 0 {
+		nn.ClipGradNorm(m.params, m.cfg.ClipNorm)
+	}
+	opt.Step(m.params)
 }
