@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-smoke serve-bench clean
+.PHONY: all build vet test race check fuzz-smoke bench bench-smoke serve-bench clean
 
 all: check
 
@@ -20,9 +20,16 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# A short coverage-guided pass over the WAL record decoder — the one
+# parser that must never panic on arbitrary bytes (it reads crash
+# debris on every recovery).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzRecordDecode -fuzztime=10s -run='^$$' ./internal/wal/
+
 # The CI gate: static checks plus the suite under the race detector
-# (the serving layer is heavily concurrent).
-check: vet build race
+# (the serving layer is heavily concurrent) and the WAL decoder fuzz
+# smoke.
+check: vet build race fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

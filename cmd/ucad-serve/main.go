@@ -6,7 +6,16 @@
 //
 // Usage:
 //
-//	ucad-serve -model ucad.model [-addr :8844] [-workers 4] [-train-workers 0] [-batch-size 16] [-pprof]
+//	ucad-serve -model ucad.model [-addr :8844] [-workers 4] [-data-dir DIR] [-fsync always] [-pprof]
+//
+// With -data-dir the service is crash-safe: every accepted event is
+// appended to a write-ahead log before it is acknowledged, open
+// sessions are snapshotted on -snapshot-interval, and a restart on the
+// same directory restores them (load newest snapshot + replay the WAL
+// suffix, truncating a torn tail). Fine-tune rounds additionally write
+// atomic model checkpoints under <data-dir>/checkpoints; boot prefers
+// the newest checkpoint that loads, rolling back through the manifest
+// past any that do not.
 //
 // API:
 //
@@ -29,11 +38,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/serve"
+	"github.com/ucad/ucad/internal/wal"
 )
 
 func main() {
@@ -50,23 +61,35 @@ func main() {
 	batchSize := flag.Int("batch-size", 16, "windows per SGD step during fine-tune (gradients summed across the mini-batch)")
 	maxResolved := flag.Int("max-resolved-alerts", 4096, "resolved alerts retained in memory (negative = unbounded)")
 	resolvedTTL := flag.Duration("resolved-alert-ttl", 24*time.Hour, "evict resolved alerts after this age (negative disables)")
+	dataDir := flag.String("data-dir", "", "durability directory (WAL + snapshots + model checkpoints); empty disables durability")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always (durable per event), interval, never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL flush period under -fsync=interval")
+	snapshotEvery := flag.Duration("snapshot-interval", time.Minute, "open-session snapshot/compaction period (0 disables the loop)")
+	segmentBytes := flag.Int64("segment-bytes", 64<<20, "WAL segment rotation cap in bytes")
+	shutdownWait := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget on SIGTERM/SIGINT")
 	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/")
 	flag.Parse()
 
-	mf, err := os.Open(*modelPath)
-	fatalIf(err)
-	u, err := core.Load(mf)
-	mf.Close()
-	fatalIf(err)
+	// With durability on, boot prefers the newest fine-tune checkpoint
+	// whose load succeeds — rolling the manifest back past any that a
+	// crash or bug left unloadable — and falls back to -model.
+	var ckpts *wal.Checkpoints
+	if *dataDir != "" {
+		var err error
+		ckpts, err = wal.OpenCheckpoints(filepath.Join(*dataDir, "checkpoints"), 0)
+		fatalIf(err)
+	}
+	u, from := loadModel(ckpts, *modelPath)
+	fmt.Printf("model loaded from %s\n", from)
 	// The persisted config keeps whatever parallelism the model was
 	// trained with; the serving flags decide what fine-tune rounds use
 	// on this host.
 	u.Model.SetTrainParallelism(*trainWorkers, *batchSize)
 	mcfg := u.Model.Config()
-	fmt.Printf("model loaded: vocab=%d window=%d top-p=%d (fine-tune: %d workers, batch %d)\n",
+	fmt.Printf("model: vocab=%d window=%d top-p=%d (fine-tune: %d workers, batch %d)\n",
 		mcfg.Vocab, mcfg.Window, mcfg.TopP, mcfg.EffectiveTrainWorkers(), *batchSize)
 
-	svc := serve.NewService(u, serve.Config{
+	cfg := serve.Config{
 		Workers:           *workers,
 		QueueSize:         *queue,
 		Batch:             *batch,
@@ -76,7 +99,34 @@ func main() {
 		RetrainEpochs:     *retrainEpochs,
 		MaxResolvedAlerts: *maxResolved,
 		ResolvedAlertTTL:  *resolvedTTL,
-	})
+	}
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		fatalIf(err)
+		cfg.Durability = &serve.DurabilityConfig{
+			Dir:           filepath.Join(*dataDir, "wal"),
+			Fsync:         policy,
+			FsyncInterval: *fsyncInterval,
+			SegmentBytes:  *segmentBytes,
+			SnapshotEvery: *snapshotEvery,
+			Checkpoints:   ckpts,
+		}
+	}
+	svc := serve.NewService(u, cfg)
+	if cfg.Durability != nil {
+		rst, err := svc.Restore()
+		fatalIf(err)
+		how := "clean shutdown"
+		switch {
+		case rst.CleanSeal:
+		case rst.Records == 0 && rst.SnapshotSeq == 0 && rst.Sessions == 0:
+			how = "fresh data dir"
+		default:
+			how = "crash recovery"
+		}
+		fmt.Printf("durability: %s restored %d open sessions (%s; %d WAL records replayed, fsync=%s)\n",
+			*dataDir, rst.Sessions, how, rst.Records, *fsync)
+	}
 	svc.Start()
 
 	mux := http.NewServeMux()
@@ -111,15 +161,49 @@ func main() {
 		fatalIf(err)
 	}
 
-	// Quiesce ingestion first, then flush open sessions through
-	// close-out detection.
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Quiesce ingestion first, then shut the service down gracefully:
+	// with durability on, Close drains the queue, snapshots the open
+	// sessions (they come back on the next boot) and seals the log; the
+	// non-durable path flushes open sessions through close-out
+	// detection instead.
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownWait)
 	defer cancel()
 	srv.Shutdown(ctx)
-	svc.Stop()
+	if err := svc.Close(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ucad-serve: shutdown:", err)
+	}
 	st := svc.Stats()
-	fmt.Printf("done: %d events, %d sessions closed, %d flagged, %d alerts open\n",
-		st.EventsAccepted, st.SessionsClosed, st.SessionsFlagged, st.AlertsOpen)
+	fmt.Printf("done: %d events, %d sessions closed, %d open preserved, %d flagged, %d alerts open\n",
+		st.EventsAccepted, st.SessionsClosed, st.SessionsOpen, st.SessionsFlagged, st.AlertsOpen)
+}
+
+// loadModel prefers the newest loadable checkpoint, rolling back past
+// rejected ones, and falls back to the trained model file.
+func loadModel(ckpts *wal.Checkpoints, modelPath string) (*core.UCAD, string) {
+	if ckpts != nil {
+		for path := ckpts.Current(); path != ""; {
+			u, err := loadModelFile(path)
+			if err == nil {
+				return u, path
+			}
+			fmt.Fprintf(os.Stderr, "ucad-serve: checkpoint %s rejected (%v), rolling back\n", path, err)
+			next, rerr := ckpts.Rollback()
+			fatalIf(rerr)
+			path = next
+		}
+	}
+	u, err := loadModelFile(modelPath)
+	fatalIf(err)
+	return u, modelPath
+}
+
+func loadModelFile(path string) (*core.UCAD, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(f)
 }
 
 func fatalIf(err error) {

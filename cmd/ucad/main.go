@@ -19,6 +19,7 @@ import (
 	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/obs"
 	"github.com/ucad/ucad/internal/session"
+	"github.com/ucad/ucad/internal/wal"
 )
 
 func main() {
@@ -117,17 +118,14 @@ func runTrain(args []string) {
 			n, epochLoss.Value(), time.Duration(epochSeconds.Quantile(0.5)*float64(time.Second)).Round(time.Millisecond))
 	}
 	if *metricsOut != "" {
-		mf, err := os.Create(*metricsOut)
-		fatalIf(err)
-		fatalIf(reg.WriteText(mf))
-		fatalIf(mf.Close())
+		fatalIf(wal.WriteAtomic(*metricsOut, reg.WriteText))
 		fmt.Println("training metrics written to", *metricsOut)
 	}
 
-	out, err := os.Create(*modelPath)
-	fatalIf(err)
-	defer out.Close()
-	fatalIf(u.Save(out))
+	// Atomic save: a crash mid-write can truncate a directly written
+	// model file into an unloadable stub; WriteAtomic (temp file, fsync,
+	// rename, dir fsync) leaves either the old model or the new one.
+	fatalIf(wal.WriteAtomic(*modelPath, u.Save))
 	fmt.Println("model written to", *modelPath)
 }
 

@@ -6,6 +6,7 @@
 package detect
 
 import (
+	"io"
 	"sync"
 	"time"
 
@@ -238,3 +239,12 @@ func (o *Online) RankBatch(dst []int, contexts [][]int, keys []int) []int {
 // Detector returns the wrapped trained detector (vocabulary access for
 // live tokenization; do not mutate the model directly).
 func (o *Online) Detector() *core.UCAD { return o.ucad }
+
+// Save persists the wrapped detector under the model read-lock, so a
+// checkpoint written while serving (and between fine-tune rounds) is a
+// consistent parameter snapshot, never a half-updated one.
+func (o *Online) Save(w io.Writer) error {
+	o.modelMu.RLock()
+	defer o.modelMu.RUnlock()
+	return o.ucad.Save(w)
+}

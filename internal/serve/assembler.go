@@ -2,6 +2,9 @@ package serve
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -51,6 +54,10 @@ type Appended struct {
 	// Keys holds the up-to-window most recent statement keys, the last
 	// one being the appended operation's key.
 	Keys []int
+	// Time is the operation's stored timestamp (the event's, or the
+	// assembler clock when the event carried none) — what the WAL record
+	// persists so recovery rebuilds the operation byte-exactly.
+	Time time.Time
 }
 
 // Append absorbs one event whose statement was already tokenized to
@@ -88,7 +95,7 @@ func (a *Assembler) Append(ev Event, key, window int) Appended {
 		lo = len(os.keys) - window
 	}
 	snap := append([]int(nil), os.keys[lo:]...)
-	return Appended{SessionID: os.sess.ID, Pos: len(os.keys) - 1, Keys: snap}
+	return Appended{SessionID: os.sess.ID, Pos: len(os.keys) - 1, Keys: snap, Time: ts}
 }
 
 // Rollback removes the operation at position pos from the client's open
@@ -161,4 +168,144 @@ func (a *Assembler) Counts() (opened, closed int64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.opened, a.closed
+}
+
+// SessionState is one open session's full assembly state, the unit the
+// durability layer snapshots and restores. Ops are deep copies — safe
+// to serialize while the assembler keeps running.
+type SessionState struct {
+	Client   string              `json:"client"`
+	ID       string              `json:"id"`
+	User     string              `json:"user,omitempty"`
+	Addr     string              `json:"addr,omitempty"`
+	LastSeen time.Time           `json:"last_seen"`
+	Ops      []session.Operation `json:"ops"`
+}
+
+// Export snapshots every open session plus the session-id counter,
+// sorted by client for deterministic snapshots.
+func (a *Assembler) Export() (seq int, out []SessionState) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out = make([]SessionState, 0, len(a.open))
+	for client, os := range a.open {
+		out = append(out, SessionState{
+			Client:   client,
+			ID:       os.sess.ID,
+			User:     os.sess.User,
+			Addr:     os.sess.Addr,
+			LastSeen: os.lastSeen,
+			Ops:      append([]session.Operation(nil), os.sess.Ops...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
+	return a.seq, out
+}
+
+// Restore installs an open session from a snapshot (recovery path).
+// keys must be the tokenized statement keys of st.Ops, index-aligned.
+func (a *Assembler) Restore(st SessionState, keys []int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.open[st.Client] = &openSession{
+		sess: &session.Session{
+			ID:   st.ID,
+			User: st.User,
+			Addr: st.Addr,
+			Ops:  append([]session.Operation(nil), st.Ops...),
+		},
+		keys:     append([]int(nil), keys...),
+		lastSeen: st.LastSeen,
+	}
+	a.opened++
+	a.bumpSeqLocked(st.ID)
+}
+
+// SetSeqFloor raises the session-id counter to at least n, so sessions
+// opened after a restore never reuse a pre-crash id.
+func (a *Assembler) SetSeqFloor(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n > a.seq {
+		a.seq = n
+	}
+}
+
+// bumpSeqLocked parses the trailing "#<n>" of a restored session id and
+// raises the counter past it.
+func (a *Assembler) bumpSeqLocked(id string) {
+	if i := strings.LastIndexByte(id, '#'); i >= 0 {
+		if n, err := strconv.Atoi(id[i+1:]); err == nil && n > a.seq {
+			a.seq = n
+		}
+	}
+}
+
+// ReplayAppend applies one WAL event record idempotently during
+// recovery: the operation lands only if it is the next expected
+// position of the identified session (creating the session at position
+// 0). Duplicates — records whose effect the snapshot already captured —
+// and gaps are dropped silently, so replaying any WAL suffix on top of
+// any snapshot converges on the prefix state the log acknowledged. It
+// reports whether the operation was applied.
+func (a *Assembler) ReplayAppend(client, sessionID string, pos int, op session.Operation, key int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	os := a.open[client]
+	if os == nil {
+		if pos != 0 {
+			return false // gap: the session's creation is lost
+		}
+		os = &openSession{sess: &session.Session{
+			ID:   sessionID,
+			User: op.User,
+			Addr: op.Addr,
+		}}
+		a.open[client] = os
+		a.opened++
+		a.bumpSeqLocked(sessionID)
+	}
+	if os.sess.ID != sessionID || pos != len(os.keys) {
+		return false // duplicate (pos < len) or gap — never a phantom
+	}
+	op.SessionID = sessionID
+	op.Key = key
+	os.sess.Ops = append(os.sess.Ops, op)
+	os.keys = append(os.keys, key)
+	if op.Time.After(os.lastSeen) {
+		os.lastSeen = op.Time
+	}
+	return true
+}
+
+// ReplayClose removes the identified session during recovery (its
+// close-out verdict already happened before the record was logged).
+func (a *Assembler) ReplayClose(client, sessionID string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	os := a.open[client]
+	if os == nil || os.sess.ID != sessionID {
+		return false
+	}
+	delete(a.open, client)
+	a.closed++
+	return true
+}
+
+// ReplayRollback undoes the tail operation of the identified session
+// during recovery — the logged image of a backpressure rollback.
+func (a *Assembler) ReplayRollback(client, sessionID string, pos int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	os := a.open[client]
+	if os == nil || os.sess.ID != sessionID || len(os.keys) != pos+1 {
+		return false
+	}
+	os.sess.Ops = os.sess.Ops[:pos]
+	os.keys = os.keys[:pos]
+	if pos == 0 {
+		delete(a.open, client)
+		a.opened--
+	}
+	return true
 }

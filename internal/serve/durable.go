@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ucad/ucad/internal/core"
+	"github.com/ucad/ucad/internal/obs"
+	"github.com/ucad/ucad/internal/session"
+	"github.com/ucad/ucad/internal/wal"
+)
+
+// DurabilityConfig enables crash-safe serving: every accepted event is
+// appended to a write-ahead log before the ingest call returns, open
+// sessions are periodically snapshotted, and a restarted Service
+// rebuilds the assembler from "newest snapshot + WAL suffix" — the
+// long-lived streaming state the paper's whole-session detector depends
+// on survives a deploy or a kill -9.
+type DurabilityConfig struct {
+	// Dir holds the WAL segments and snapshots.
+	Dir string
+	// Fsync selects when appended records reach stable storage (see
+	// wal.SyncPolicy). Under SyncAlways an acknowledged event is
+	// guaranteed to be restored after any crash.
+	Fsync wal.SyncPolicy
+	// FsyncInterval is the background flush period under SyncInterval
+	// (0 means the wal default of 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes caps a WAL segment before rotation (0 means 64 MiB).
+	SegmentBytes int64
+	// SnapshotEvery is the background snapshot/compaction period
+	// (0 disables the loop; SnapshotNow still works and Close always
+	// takes a final snapshot).
+	SnapshotEvery time.Duration
+	// Checkpoints, if non-nil, receives an atomic model checkpoint after
+	// every fine-tune round; a checkpoint that fails validation is
+	// rolled back to the last good one.
+	Checkpoints *wal.Checkpoints
+}
+
+// RestoreStats summarizes one Service.Restore.
+type RestoreStats struct {
+	// Sessions is the number of open sessions restored.
+	Sessions int
+	// Records is the number of WAL records replayed on the snapshot.
+	Records int
+	// SnapshotSeq anchors the restored snapshot (0 = none found).
+	SnapshotSeq uint64
+	// CleanSeal reports whether the log ended with a clean-shutdown seal
+	// record; false means the previous process crashed.
+	CleanSeal bool
+	// TornTail reports whether a crash tail was truncated.
+	TornTail bool
+}
+
+// WAL record types. Records are JSON with a one-letter type tag; the
+// framing, checksumming and torn-tail handling live in internal/wal.
+const (
+	recEvent    = "ev"   // one accepted operation appended to a session
+	recClose    = "cl"   // a session left the assembler (idle close-out or flush)
+	recRollback = "rb"   // a backpressure rollback undid the tail operation
+	recSeal     = "seal" // clean shutdown marker
+)
+
+type walRecord struct {
+	T      string    `json:"t"`
+	Client string    `json:"c,omitempty"`
+	SID    string    `json:"s,omitempty"`
+	Pos    int       `json:"p,omitempty"`
+	User   string    `json:"u,omitempty"`
+	Addr   string    `json:"a,omitempty"`
+	SQL    string    `json:"q,omitempty"`
+	TS     time.Time `json:"ts"`
+}
+
+// snapState is the snapshot payload: the assembler's full open-session
+// state plus the session-id counter.
+type snapState struct {
+	Seq      int            `json:"seq"`
+	Sessions []SessionState `json:"sessions"`
+}
+
+// Restore opens the durability layer and rebuilds the assembler from
+// the newest valid snapshot plus the WAL suffix. It must be called
+// (once) before Start and before the first Ingest; without it a
+// durability-configured Service rejects events with ErrNotReady so no
+// accepted event can ever bypass the log. With Config.Durability nil it
+// is a no-op.
+func (s *Service) Restore() (RestoreStats, error) {
+	var st RestoreStats
+	d := s.cfg.Durability
+	if d == nil {
+		return st, nil
+	}
+	if s.store.Load() != nil {
+		return st, fmt.Errorf("serve: Restore called twice")
+	}
+	m := s.metrics
+	store, err := wal.OpenStore(d.Dir, wal.Options{
+		SegmentBytes: d.SegmentBytes,
+		Sync:         d.Fsync,
+		SyncInterval: d.FsyncInterval,
+		OnAppend:     func(int) { m.walAppends.Inc() },
+		OnSync:       func(took time.Duration) { m.walFsyncSeconds.Observe(took.Seconds()) },
+	})
+	if err != nil {
+		return st, err
+	}
+	rec, err := store.Recover(s.restoreSnapshot, func(b []byte) error {
+		var r walRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			// An undecodable-but-checksummed record is a version skew
+			// bug, not a torn tail; surface it.
+			return fmt.Errorf("serve: undecodable wal record: %w", err)
+		}
+		s.replayRecord(r, &st)
+		return nil
+	})
+	if err != nil {
+		store.Close()
+		return st, err
+	}
+	st.Records = rec.Records
+	st.SnapshotSeq = rec.SnapshotSeq
+	st.TornTail = rec.TornTail
+	st.Sessions = s.asm.OpenCount()
+	s.recovered.Store(int64(st.Sessions))
+	s.ckpts = d.Checkpoints
+	s.store.Store(store)
+	if d.SnapshotEvery > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop(d.SnapshotEvery)
+	}
+	return st, nil
+}
+
+// restoreSnapshot rebuilds the assembler from a snapshot payload,
+// re-tokenizing every statement with the trained vocabulary (the
+// vocabulary is fixed after training, so the key windows come back
+// byte-exact).
+func (s *Service) restoreSnapshot(b []byte) error {
+	var snap snapState
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return fmt.Errorf("serve: undecodable snapshot: %w", err)
+	}
+	for _, ss := range snap.Sessions {
+		keys := make([]int, len(ss.Ops))
+		for i := range ss.Ops {
+			keys[i] = s.ucad.Vocab.Key(ss.Ops[i].SQL)
+			ss.Ops[i].Key = keys[i]
+		}
+		s.asm.Restore(ss, keys)
+	}
+	s.asm.SetSeqFloor(snap.Seq)
+	return nil
+}
+
+// replayRecord applies one WAL record on top of the restored snapshot.
+// Application is idempotent (see Assembler.ReplayAppend), so records
+// the snapshot already covers are dropped, never duplicated.
+func (s *Service) replayRecord(r walRecord, st *RestoreStats) {
+	switch r.T {
+	case recEvent:
+		key := s.ucad.Vocab.Key(r.SQL)
+		s.asm.ReplayAppend(r.Client, r.SID, r.Pos, session.Operation{
+			Time: r.TS, User: r.User, Addr: r.Addr, SQL: r.SQL,
+		}, key)
+	case recClose:
+		s.asm.ReplayClose(r.Client, r.SID)
+	case recRollback:
+		s.asm.ReplayRollback(r.Client, r.SID, r.Pos)
+	case recSeal:
+		st.CleanSeal = true
+	}
+}
+
+// appendWAL marshals and appends one record; the caller holds durMu
+// when the record must stay ordered with an assembler mutation.
+func (s *Service) appendWAL(store *wal.Store, r walRecord) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	return store.Append(b)
+}
+
+// ingestDurable is Ingest's assemble-and-log step when durability is
+// on: the assembler mutation and its WAL record happen atomically with
+// respect to snapshot capture (durMu), and the record is durable per
+// the fsync policy before the event is acknowledged. A WAL write
+// failure undoes the append and rejects the event — nothing enters a
+// session that the log cannot replay.
+func (s *Service) ingestDurable(store *wal.Store, ev Event, key int) (Appended, error) {
+	client := ev.Client()
+	s.durMu.Lock()
+	ap := s.asm.Append(ev, key, s.window+1)
+	err := s.appendWAL(store, walRecord{
+		T: recEvent, Client: client, SID: ap.SessionID, Pos: ap.Pos,
+		User: ev.User, Addr: ev.Addr, SQL: ev.SQL, TS: ap.Time,
+	})
+	if err != nil {
+		s.asm.Rollback(client, ap.Pos)
+		s.durMu.Unlock()
+		return ap, fmt.Errorf("serve: wal append: %w", err)
+	}
+	s.durMu.Unlock()
+	return ap, nil
+}
+
+// rollbackLogged undoes the tail operation after a scoring-queue
+// rejection, logging the rollback so recovery replays the undo too.
+func (s *Service) rollbackLogged(client, sessionID string, pos int) {
+	store := s.store.Load()
+	if store == nil {
+		s.asm.Rollback(client, pos)
+		return
+	}
+	s.durMu.Lock()
+	if s.asm.Rollback(client, pos) {
+		s.appendWAL(store, walRecord{T: recRollback, Client: client, SID: sessionID, Pos: pos})
+	}
+	s.durMu.Unlock()
+}
+
+// closeLogged runs the given assembler close-out under durMu and logs
+// one close record per closed session, so recovery never resurrects a
+// session that already received its authoritative verdict.
+func (s *Service) closeLogged(close func() []Closed) []Closed {
+	store := s.store.Load()
+	if store == nil {
+		return close()
+	}
+	s.durMu.Lock()
+	closed := close()
+	for _, c := range closed {
+		s.appendWAL(store, walRecord{T: recClose, Client: c.Client, SID: c.Session.ID})
+	}
+	s.durMu.Unlock()
+	return closed
+}
+
+// SnapshotNow captures the assembler's open sessions and commits them
+// as a durable snapshot, pruning WAL segments the snapshot supersedes.
+// No-op without durability.
+func (s *Service) SnapshotNow() error {
+	store := s.store.Load()
+	if store == nil {
+		return nil
+	}
+	t := obs.StartTimer(s.metrics.snapshotSeconds)
+	defer t.Stop()
+	// State capture and segment rotation are atomic with respect to
+	// appends (durMu), pinning the snapshot to an exact log position;
+	// the serialization and commit fsync happen off the ingest path.
+	s.durMu.Lock()
+	seq, sessions := s.asm.Export()
+	anchor, err := store.BeginSnapshot()
+	s.durMu.Unlock()
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(snapState{Seq: seq, Sessions: sessions})
+	if err != nil {
+		return err
+	}
+	return store.CommitSnapshot(anchor, b)
+}
+
+func (s *Service) snapshotLoop(every time.Duration) {
+	defer close(s.snapDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.SnapshotNow()
+		case <-s.snapStop:
+			return
+		}
+	}
+}
+
+// sealAndCloseStore takes the final snapshot, appends the clean-seal
+// record and closes the log (shutdown tail of Close/Stop).
+func (s *Service) sealAndCloseStore() error {
+	store := s.store.Load()
+	if store == nil {
+		return nil
+	}
+	err := s.SnapshotNow()
+	if serr := s.appendWAL(store, walRecord{T: recSeal}); err == nil {
+		err = serr
+	}
+	if cerr := store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// checkpointModel writes an atomic model checkpoint after a fine-tune
+// round and validates it by loading it back; a checkpoint core.Load
+// rejects is rolled back so the manifest always points at a loadable
+// model. Runs on the retraining goroutine.
+func (s *Service) checkpointModel() {
+	if s.ckpts == nil {
+		return
+	}
+	path, err := s.ckpts.Save(s.online.Save)
+	if err != nil {
+		s.ckptErrors.Add(1)
+		return
+	}
+	if err := verifyCheckpoint(path); err != nil {
+		s.ckptErrors.Add(1)
+		s.ckpts.Rollback()
+	}
+}
+
+// verifyCheckpoint proves a checkpoint file loads back into a detector.
+func verifyCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = core.Load(f)
+	return err
+}

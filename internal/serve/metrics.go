@@ -40,6 +40,13 @@ type Metrics struct {
 	// trainEpochSeconds distributes per-epoch fine-tune wall time — the
 	// direct readout of data-parallel training speedup in production.
 	trainEpochSeconds *obs.Histogram
+
+	// Durability instrumentation (all zero when Config.Durability is
+	// off). walAppends/walFsyncSeconds are fed by internal/wal's hooks;
+	// snapshotSeconds times SnapshotNow end to end.
+	walAppends      *obs.Counter
+	walFsyncSeconds *obs.Histogram
+	snapshotSeconds *obs.Histogram
 }
 
 // NewMetrics registers the serving layer's owned instruments on reg
@@ -77,6 +84,13 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		trainEpochSeconds: reg.Histogram("ucad_train_epoch_seconds",
 			"Wall-clock duration per fine-tune epoch.",
 			obs.ExponentialBuckets(0.01, 4, 8)),
+		walAppends: reg.Counter("ucad_wal_appends_total",
+			"Records appended to the write-ahead log."),
+		walFsyncSeconds: reg.Histogram("ucad_wal_fsync_seconds",
+			"Latency of one WAL fsync (every append under -fsync=always).", obs.LatencyBuckets),
+		snapshotSeconds: reg.Histogram("ucad_snapshot_seconds",
+			"Wall-clock duration of one open-session snapshot (capture, serialize, commit, prune).",
+			obs.ExponentialBuckets(0.001, 4, 8)),
 	}
 }
 
@@ -137,4 +151,18 @@ func (m *Metrics) bind(s *Service) {
 	reg.GaugeFunc("ucad_uptime_seconds",
 		"Seconds since the service was constructed.",
 		func() float64 { return s.cfg.Clock().Sub(s.start).Seconds() })
+	reg.GaugeFunc("ucad_wal_recovered_sessions",
+		"Open sessions rebuilt from the WAL/snapshot at the last Restore.",
+		func() float64 { return float64(s.recovered.Load()) })
+	reg.GaugeFunc("ucad_wal_segment_bytes",
+		"Size of the active WAL segment (rotates at the configured cap).",
+		func() float64 {
+			if st := s.store.Load(); st != nil {
+				return float64(st.SegmentBytes())
+			}
+			return 0
+		})
+	reg.CounterFunc("ucad_checkpoint_errors_total",
+		"Model checkpoints that failed to write or validate (rolled back).",
+		s.ckptErrors.Load)
 }

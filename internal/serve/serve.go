@@ -52,4 +52,8 @@ var (
 	ErrStopped     = errors.New("serve: service stopped")
 	ErrSessionOpen = errors.New("serve: session still open")
 	ErrNoAlert     = errors.New("serve: no such alert")
+	// ErrNotReady rejects events on a durability-configured Service
+	// before Restore has opened the write-ahead log: an accepted event
+	// must never bypass the log.
+	ErrNotReady = errors.New("serve: durable service not restored (call Restore first)")
 )

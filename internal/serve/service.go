@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/detect"
 	"github.com/ucad/ucad/internal/obs"
+	"github.com/ucad/ucad/internal/wal"
 )
 
 // Config tunes the serving layer.
@@ -36,6 +38,10 @@ type Config struct {
 	// ResolvedAlertTTL ages resolved alerts out of the store (0 means
 	// the default, negative disables the TTL).
 	ResolvedAlertTTL time.Duration
+	// Durability, when non-nil, makes the service crash-safe: accepted
+	// events are WAL-logged before ack, open sessions are snapshotted,
+	// and Restore rebuilds them after a restart (see DurabilityConfig).
+	Durability *DurabilityConfig
 	// Metrics receives the serving instrumentation; nil creates a
 	// private registry (reachable via Service.Metrics). A Metrics value
 	// binds to exactly one Service.
@@ -91,6 +97,18 @@ type Service struct {
 	sweepStop chan struct{}
 	sweepDone chan struct{}
 	startOnce sync.Once
+
+	// Durability state (nil/zero without Config.Durability; see
+	// durable.go). durMu makes an assembler mutation and its WAL record
+	// atomic with respect to snapshot capture, pinning every snapshot to
+	// an exact log position.
+	store      atomic.Pointer[wal.Store]
+	ckpts      *wal.Checkpoints
+	durMu      sync.Mutex
+	recovered  atomic.Int64
+	ckptErrors atomic.Int64
+	snapStop   chan struct{}
+	snapDone   chan struct{}
 }
 
 // NewService wires a trained detector into a serving loop. The scoring
@@ -183,19 +201,66 @@ func (s *Service) Start() {
 
 // Stop flushes every open session through close-out detection and shuts
 // the scoring pool down. Quiesce ingestion (shut the HTTP server down)
-// before calling it; Ingest fails with ErrStopped afterwards.
+// before calling it; Ingest fails with ErrStopped afterwards. With
+// durability enabled the flushed close-outs are WAL-logged and the log
+// is sealed, so a restart restores an empty assembler; use Close to
+// preserve open sessions across a deploy instead.
 func (s *Service) Stop() {
 	if !s.stopped.CompareAndSwap(false, true) {
 		return
 	}
+	s.stopBackground()
+	s.engine.Drain()
+	s.finalize(s.closeLogged(s.asm.CloseAll))
+	s.engine.Stop()
+	s.retrainWG.Wait()
+	s.sealAndCloseStore()
+}
+
+// Close is the durable graceful shutdown: ingestion must already be
+// quiesced; Close stops the background loops, drains the scoring queue
+// (bounded by ctx), runs close-out detection on sessions already idle
+// past the timeout, then snapshots the still-open sessions, appends the
+// clean-seal record and closes the log — a following Restore on the
+// same directory brings every open session back exactly where it was.
+// Without durability it behaves like Stop (nothing would preserve the
+// sessions, so they are flushed through detection instead).
+func (s *Service) Close(ctx context.Context) error {
+	if s.store.Load() == nil {
+		s.Stop()
+		return nil
+	}
+	if !s.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.stopBackground()
+	var err error
+	drained := make(chan struct{})
+	go func() { s.engine.Drain(); close(drained) }()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err() // proceed: shutdown must still seal the log
+	}
+	s.finalize(s.closeLogged(s.asm.CloseIdle))
+	s.engine.Stop()
+	s.retrainWG.Wait()
+	if serr := s.sealAndCloseStore(); err == nil {
+		err = serr
+	}
+	return err
+}
+
+// stopBackground stops the idle sweeper and the snapshot loop.
+func (s *Service) stopBackground() {
 	if s.sweepStop != nil {
 		close(s.sweepStop)
 		<-s.sweepDone
 	}
-	s.engine.Drain()
-	s.finalize(s.asm.CloseAll())
-	s.engine.Stop()
-	s.retrainWG.Wait()
+	if s.snapStop != nil {
+		close(s.snapStop)
+		<-s.snapDone
+	}
 }
 
 // Ingest absorbs one event: the statement is tokenized with the trained
@@ -203,6 +268,9 @@ func (s *Service) Stop() {
 // incremental scoring once the session has MinContext history. A full
 // scoring queue rejects the event with ErrBusy — the operation is
 // rolled back out of the session so a client retry is not a duplicate.
+// With durability enabled the event is WAL-logged (durable per the
+// fsync policy) before Ingest returns nil — the write-ahead contract:
+// nothing is acknowledged that a crash could forget.
 func (s *Service) Ingest(ev Event) error {
 	if s.stopped.Load() {
 		return ErrStopped
@@ -210,10 +278,23 @@ func (s *Service) Ingest(ev Event) error {
 	if ev.SQL == "" {
 		return ErrInvalid
 	}
+	store := s.store.Load()
+	if store == nil && s.cfg.Durability != nil {
+		return ErrNotReady
+	}
 	t := obs.StartTimer(s.metrics.ingestSeconds)
 	defer t.Stop()
 	key := s.ucad.Vocab.Key(ev.SQL)
-	ap := s.asm.Append(ev, key, s.window+1)
+	var ap Appended
+	if store != nil {
+		var err error
+		if ap, err = s.ingestDurable(store, ev, key); err != nil {
+			s.rejected.Add(1)
+			return err
+		}
+	} else {
+		ap = s.asm.Append(ev, key, s.window+1)
+	}
 	if ap.Pos >= s.minContext {
 		job := Job{
 			Client:    ev.Client(),
@@ -224,7 +305,7 @@ func (s *Service) Ingest(ev Event) error {
 			SQL:       ev.SQL,
 		}
 		if err := s.engine.Submit(job); err != nil {
-			s.asm.Rollback(ev.Client(), ap.Pos)
+			s.rollbackLogged(ev.Client(), ap.SessionID, ap.Pos)
 			s.rejected.Add(1)
 			return err
 		}
@@ -249,7 +330,7 @@ func (s *Service) onResult(r Result) {
 // immediately and returns how many closed. It also ages resolved alerts
 // past their retention TTL out of the store.
 func (s *Service) CloseIdleNow() int {
-	closed := s.asm.CloseIdle()
+	closed := s.closeLogged(s.asm.CloseIdle)
 	s.finalize(closed)
 	s.alerts.evictExpired()
 	return len(closed)
@@ -288,6 +369,7 @@ func (s *Service) maybeRetrain() {
 		defer s.retraining.Store(false)
 		if s.online.Retrain(s.cfg.RetrainEpochs) > 0 {
 			s.retrains.Add(1)
+			s.checkpointModel()
 		}
 	}()
 }
@@ -355,6 +437,7 @@ type Stats struct {
 	Retrains          int64   `json:"retrains"`
 	QueueDepth        int     `json:"queue_depth"`
 	Workers           int     `json:"workers"`
+	RecoveredSessions int64   `json:"recovered_sessions"`
 }
 
 // Stats snapshots the serving counters.
@@ -380,5 +463,6 @@ func (s *Service) Stats() Stats {
 		Retrains:          s.retrains.Load(),
 		QueueDepth:        s.engine.QueueDepth(),
 		Workers:           s.cfg.Workers,
+		RecoveredSessions: s.recovered.Load(),
 	}
 }

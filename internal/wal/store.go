@@ -1,0 +1,223 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Store layers snapshot/compaction on a Log. A snapshot captures the
+// caller's full state at a segment boundary: BeginSnapshot seals the
+// active segment (records appended afterwards are the snapshot's replay
+// suffix), CommitSnapshot durably writes the state as snap-<seq>.snap
+// and only then prunes the WAL segments and snapshots it supersedes —
+// the snapshot-then-truncate invariant: bytes leave the log only after
+// the state they rebuilt is safely on disk.
+//
+// Recovery (Recover) is the inverse: load the newest snapshot that
+// passes its checksum, replay every record in segments >= its sequence,
+// and ignore anything older. With no valid snapshot, replay starts from
+// the oldest segment and empty state.
+type Store struct {
+	dir string
+	log *Log
+}
+
+// RecoverStats summarizes one recovery pass.
+type RecoverStats struct {
+	// SnapshotSeq is the segment sequence the restored snapshot anchors
+	// to (0 when recovery started from empty state).
+	SnapshotSeq uint64
+	// Segments is the number of WAL segments replayed.
+	Segments int
+	// Records is the number of WAL records replayed.
+	Records int
+	// TornTail reports whether the last segment ended in a torn record
+	// (evidence of a crash mid-append; the tail was dropped).
+	TornTail bool
+}
+
+// OpenStore opens (creating if needed) a Store in dir. The underlying
+// log has any torn tail truncated; call Recover before the first
+// Append to rebuild state from the snapshot + WAL suffix.
+func OpenStore(dir string, opt Options) (*Store, error) {
+	l, err := Open(dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, log: l}, nil
+}
+
+func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016d.snap", seq) }
+
+func parseSnapshotSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len("snap-"):len(name)-len(".snap")], 10, 64)
+	return seq, err == nil && seq > 0
+}
+
+// listSnapshots returns snapshot sequence numbers in ascending order.
+func (s *Store) listSnapshots() ([]uint64, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if seq, ok := parseSnapshotSeq(e.Name()); ok && !e.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// readSnapshot loads and checksum-validates one snapshot file.
+func (s *Store) readSnapshot(seq uint64) ([]byte, error) {
+	b, err := os.ReadFile(filepath.Join(s.dir, snapshotName(seq)))
+	if err != nil {
+		return nil, err
+	}
+	payload, n, err := decodeRecord(b)
+	if err != nil || n != len(b) {
+		return nil, ErrTornRecord
+	}
+	return payload, nil
+}
+
+// Recover rebuilds state: restore is called at most once with the
+// newest valid snapshot's payload, then replay is called for every WAL
+// record after it, in append order. Snapshots that fail their checksum
+// fall back to the next older one (replaying a longer WAL suffix).
+// A torn record ends replay of the final segment silently — the torn
+// tail was never acknowledged under SyncAlways — while a short segment
+// anywhere earlier is real corruption and fails.
+func (s *Store) Recover(restore func(snapshot []byte) error, replay func(record []byte) error) (RecoverStats, error) {
+	var st RecoverStats
+	snaps, err := s.listSnapshots()
+	if err != nil {
+		return st, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		payload, err := s.readSnapshot(snaps[i])
+		if err != nil {
+			continue // corrupt or unreadable: fall back to an older one
+		}
+		if err := restore(payload); err != nil {
+			return st, err
+		}
+		st.SnapshotSeq = snaps[i]
+		break
+	}
+	seqs, err := listSegments(s.dir)
+	if err != nil {
+		return st, err
+	}
+	for i, seq := range seqs {
+		if seq < st.SnapshotSeq {
+			continue
+		}
+		n, torn, err := replaySegment(filepath.Join(s.dir, segmentName(seq)), replay)
+		st.Records += n
+		st.Segments++
+		if err != nil {
+			return st, err
+		}
+		if torn {
+			if i != len(seqs)-1 {
+				return st, fmt.Errorf("wal: segment %d corrupt before the log tail", seq)
+			}
+			st.TornTail = true
+		}
+	}
+	// Open already truncated the crash tail before this replay ran;
+	// surface it as the torn-tail signal.
+	st.TornTail = st.TornTail || s.log.tornAtOpen
+	// Crash leftovers: segments and snapshots whose pruning did not
+	// complete.
+	s.prune()
+	return st, nil
+}
+
+// Append appends one record to the log (see Log.Append).
+func (s *Store) Append(payload []byte) error { return s.log.Append(payload) }
+
+// Sync forces the log to stable storage (see Log.Sync).
+func (s *Store) Sync() error { return s.log.Sync() }
+
+// SegmentBytes reports the active segment's size.
+func (s *Store) SegmentBytes() int64 { return s.log.SegmentBytes() }
+
+// BeginSnapshot seals the active segment and returns the snapshot
+// anchor sequence. The caller must capture the state it will commit
+// BEFORE any append that follows the rotation — in practice: hold the
+// lock that serializes appends, capture state, call BeginSnapshot,
+// release, then CommitSnapshot off the hot path.
+func (s *Store) BeginSnapshot() (uint64, error) { return s.log.Rotate() }
+
+// CommitSnapshot durably writes the state captured at anchor seq, then
+// prunes the segments and snapshots it supersedes. A crash before the
+// atomic rename leaves the previous snapshot and the full WAL intact.
+func (s *Store) CommitSnapshot(seq uint64, state []byte) error {
+	framed := appendRecord(make([]byte, 0, recordHeaderSize+len(state)), state)
+	err := WriteAtomic(filepath.Join(s.dir, snapshotName(seq)), func(w io.Writer) error {
+		_, werr := w.Write(framed)
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	s.prune()
+	return nil
+}
+
+// Snapshot is BeginSnapshot+CommitSnapshot for callers whose state
+// capture needs no external serialization against appends.
+func (s *Store) Snapshot(state []byte) error {
+	seq, err := s.BeginSnapshot()
+	if err != nil {
+		return err
+	}
+	return s.CommitSnapshot(seq, state)
+}
+
+// prune removes WAL segments and snapshots no longer needed for
+// recovery. The two newest snapshots are retained along with every
+// segment at or after the OLDER one: if the newest snapshot's bytes
+// ever rot, recovery falls back to the previous snapshot and replays
+// the full suffix since it — landing on the same current state, not an
+// older one. Best-effort: a failed remove is retried by the next
+// snapshot or recovery.
+func (s *Store) prune() {
+	snaps, err := s.listSnapshots()
+	if err != nil || len(snaps) == 0 {
+		return
+	}
+	cutoff := snaps[len(snaps)-1]
+	if len(snaps) >= 2 {
+		cutoff = snaps[len(snaps)-2]
+	}
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return
+	}
+	for _, old := range segs {
+		if old < cutoff {
+			os.Remove(filepath.Join(s.dir, segmentName(old)))
+		}
+	}
+	for _, old := range snaps {
+		if old < cutoff {
+			os.Remove(filepath.Join(s.dir, snapshotName(old)))
+		}
+	}
+}
+
+// Close seals the log.
+func (s *Store) Close() error { return s.log.Close() }
