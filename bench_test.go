@@ -7,6 +7,8 @@ package ucad
 // `cmd/ucad-experiments -all -scale demo` for the larger printed runs.
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -20,6 +22,7 @@ import (
 	"github.com/ucad/ucad/internal/serve"
 	"github.com/ucad/ucad/internal/session"
 	"github.com/ucad/ucad/internal/sqlnorm"
+	"github.com/ucad/ucad/internal/tenant"
 	"github.com/ucad/ucad/internal/tensor"
 	"github.com/ucad/ucad/internal/transdas"
 	"github.com/ucad/ucad/internal/workload"
@@ -306,11 +309,10 @@ func BenchmarkDBSCANSessions(b *testing.B) {
 	}
 }
 
-// BenchmarkServeThroughput pushes a raw event stream through the full
-// serving pipeline — per-client session assembly plus the concurrent
-// scoring pool — and reports events/sec at several worker counts. One
-// goroutine ingests (the HTTP layer is bypassed); the workers score.
-func BenchmarkServeThroughput(b *testing.B) {
+// benchServeModel trains the tiny detector the serving benchmarks
+// share, returning it with the statement pool it was trained on.
+func benchServeModel(b *testing.B) (*core.UCAD, []string) {
+	b.Helper()
 	stmts := make([]string, 20)
 	for i := range stmts {
 		stmts[i] = fmt.Sprintf("SELECT * FROM t_bench_%d WHERE id = %d", i%8, i)
@@ -335,6 +337,15 @@ func BenchmarkServeThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return u, stmts
+}
+
+// BenchmarkServeThroughput pushes a raw event stream through the full
+// serving pipeline — per-client session assembly plus the concurrent
+// scoring pool — and reports events/sec at several worker counts. One
+// goroutine ingests (the HTTP layer is bypassed); the workers score.
+func BenchmarkServeThroughput(b *testing.B) {
+	u, stmts := benchServeModel(b)
 
 	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
@@ -363,6 +374,69 @@ func BenchmarkServeThroughput(b *testing.B) {
 			svc.Stop()
 		})
 	}
+}
+
+// BenchmarkServeThroughputMultiTenant drives the same stream through a
+// tenant registry fanned across four tenants (each with its own model
+// copy, pipeline, and single scoring worker) — the routed-ingest
+// overhead on top of BenchmarkServeThroughput is the read-lock lookup
+// plus the per-tenant metrics view.
+func BenchmarkServeThroughputMultiTenant(b *testing.B) {
+	u, stmts := benchServeModel(b)
+	clone := func() *core.UCAD {
+		var buf bytes.Buffer
+		if err := u.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		c, err := core.Load(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+
+	const tenants = 4
+	b.Run(fmt.Sprintf("tenants=%d/workers=1", tenants), func(b *testing.B) {
+		reg := tenant.New(tenant.Options{Serve: serve.Config{
+			Workers:     1,
+			QueueSize:   4096,
+			Batch:       16,
+			IdleTimeout: time.Hour,
+		}})
+		defer reg.Close(context.Background())
+		names := make([]string, tenants)
+		ids := make([][]string, tenants)
+		const clients = 32
+		for i := range names {
+			names[i] = fmt.Sprintf("bench%d", i)
+			if _, err := reg.CreateFromModel(tenant.Spec{ID: names[i]}, clone()); err != nil {
+				b.Fatal(err)
+			}
+			ids[i] = make([]string, clients)
+			for c := range ids[i] {
+				ids[i][c] = fmt.Sprintf("%s-client-%d", names[i], c)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tn := i % tenants
+			ev := serve.Event{
+				Tenant:   names[tn],
+				ClientID: ids[tn][(i/tenants)%clients],
+				User:     "app",
+				SQL:      stmts[i%len(stmts)],
+			}
+			for reg.Ingest(ev) == serve.ErrBusy {
+				runtime.Gosched() // backpressure: wait for the pool
+			}
+		}
+		for _, tn := range reg.List() {
+			tn.Service().Drain()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
 }
 
 func BenchmarkWorkloadGeneration(b *testing.B) {

@@ -1,0 +1,165 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a machine-readable JSON document — the artifact CI archives per PR so
+// throughput regressions are diffable across builds without scraping
+// logs.
+//
+// Usage:
+//
+//	go test -bench=. -run='^$' . | benchjson -o BENCH.json
+//
+// Non-benchmark lines (test chatter, PASS/ok trailers) are ignored, so
+// the output of several concatenated `go test` runs can be piped
+// through at once.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output file (- writes to stdout)")
+	flag.Parse()
+
+	doc, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// Doc is the converted benchmark report.
+type Doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one result line: its name (Benchmark prefix and
+// -GOMAXPROCS suffix stripped), iteration count, and every reported
+// metric keyed by unit (ns/op, events/sec, windows/sec, B/op, ...).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Parse reads go-bench text and keeps the benchmark result lines.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := splitFields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "goos:":
+			doc.Goos = rest(line, "goos:")
+			continue
+		case "goarch:":
+			doc.Goarch = rest(line, "goarch:")
+			continue
+		case "cpu:":
+			doc.CPU = rest(line, "cpu:")
+			continue
+		}
+		b, ok := parseBenchLine(fields)
+		if ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine decodes "BenchmarkName-N  iters  v1 u1  v2 u2 ...".
+func parseBenchLine(fields []string) (Benchmark, bool) {
+	name := fields[0]
+	if len(name) < len("Benchmark")+1 || name[:len("Benchmark")] != "Benchmark" {
+		return Benchmark{}, false
+	}
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	name = stripProcs(name[len("Benchmark"):])
+	var iters int64
+	if _, err := fmt.Sscanf(fields[1], "%d", &iters); err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// stripProcs drops the trailing -GOMAXPROCS benchmark-name suffix.
+func stripProcs(name string) string {
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		if c == '-' && i < len(name)-1 {
+			return name[:i]
+		}
+		break
+	}
+	return name
+}
+
+func splitFields(line string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(line); i++ {
+		if i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, line[start:i])
+			start = -1
+		}
+	}
+	return out
+}
+
+func rest(line, prefix string) string {
+	s := line[len(prefix):]
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/ucad/ucad
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkServeThroughput/workers=1-16  	   30663	      3794 ns/op	    263567 events/sec	     894 B/op	      14 allocs/op
+BenchmarkServeThroughputMultiTenant/tenants=4/workers=1         	   28652	      3509 ns/op	    284952 events/sec
+BenchmarkTrainEpoch 	       1	 512345678 ns/op	      1234 windows/sec
+PASS
+ok  	github.com/ucad/ucad	1.149s
+some unrelated chatter
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "ServeThroughput/workers=1" || b.Iterations != 30663 {
+		t.Fatalf("first: %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 3794, "events/sec": 263567, "B/op": 894, "allocs/op": 14,
+	} {
+		if b.Metrics[unit] != want {
+			t.Fatalf("%s = %g, want %g", unit, b.Metrics[unit], want)
+		}
+	}
+	// A sub-benchmark name containing '=' and no -procs suffix survives.
+	if doc.Benchmarks[1].Name != "ServeThroughputMultiTenant/tenants=4/workers=1" {
+		t.Fatalf("second: %+v", doc.Benchmarks[1])
+	}
+	if doc.Benchmarks[1].Metrics["events/sec"] != 284952 {
+		t.Fatalf("second metrics: %+v", doc.Benchmarks[1].Metrics)
+	}
+	if doc.Benchmarks[2].Metrics["windows/sec"] != 1234 {
+		t.Fatalf("third metrics: %+v", doc.Benchmarks[2].Metrics)
+	}
+}

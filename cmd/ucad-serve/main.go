@@ -7,61 +7,80 @@
 // Usage:
 //
 //	ucad-serve -model ucad.model [-addr :8844] [-workers 4] [-data-dir DIR] [-fsync always] [-pprof]
+//	ucad-serve -tenants tenants.json -data-dir DIR [-addr :8844] ...
+//
+// Without -tenants the process serves one default tenant from -model —
+// the original single-tenant deployment, byte-for-byte compatible
+// including the legacy <data-dir>/wal + <data-dir>/checkpoints layout.
+// With -tenants the process multiplexes one pipeline per tenant: the
+// file is a JSON array of specs like
+//
+//	[{"id": "scenario1", "model": "s1.model"},
+//	 {"id": "syslog",    "model": "logs.model"}]
+//
+// and each tenant gets its own model, WAL, snapshots, and checkpoint
+// manifest under <data-dir>/tenants/<id>/. Tenants created later
+// through the admin API persist there too and come back on restart.
 //
 // With -data-dir the service is crash-safe: every accepted event is
-// appended to a write-ahead log before it is acknowledged, open
-// sessions are snapshotted on -snapshot-interval, and a restart on the
-// same directory restores them (load newest snapshot + replay the WAL
-// suffix, truncating a torn tail). Fine-tune rounds additionally write
-// atomic model checkpoints under <data-dir>/checkpoints; boot prefers
-// the newest checkpoint that loads, rolling back through the manifest
-// past any that do not.
+// appended to the owning tenant's write-ahead log before it is
+// acknowledged, open sessions are snapshotted on -snapshot-interval,
+// and a restart on the same directory restores every tenant
+// independently (load newest snapshot + replay the WAL suffix,
+// truncating a torn tail). Fine-tune rounds additionally write atomic
+// model checkpoints; boot prefers the newest checkpoint that loads,
+// rolling back through the manifest past any that do not.
 //
 // API:
 //
-//	POST /v1/events              {"client_id":"c1","user":"u","sql":"SELECT ..."} or a JSON array
-//	GET  /v1/alerts?status=open  flagged sessions awaiting expert review
-//	POST /v1/alerts/{id}/resolve {"verdict":"false_alarm"|"confirmed"}
-//	GET  /healthz                liveness
-//	GET  /stats                  serving counters (JSON)
-//	GET  /metrics                Prometheus text exposition (latency histograms, counters, gauges)
-//	GET  /debug/pprof/           Go profiling endpoints (only with -pprof)
+//	POST   /v1/events              {"client_id":"c1","user":"u","sql":"SELECT ..."} or a JSON array;
+//	                               routed by a "tenant" field, X-UCAD-Tenant header, or ?tenant=
+//	GET    /v1/alerts?status=open  flagged sessions awaiting expert review (?tenant= selects)
+//	POST   /v1/alerts/{id}/resolve {"verdict":"false_alarm"|"confirmed"}
+//	GET    /v1/tenants             tenant list; POST creates, DELETE /v1/tenants/{id} removes
+//	GET    /v1/tenants/{id}/stats  per-tenant counters (also .../alerts, .../drain)
+//	GET    /healthz                liveness
+//	GET    /stats                  serving counters (JSON; ?tenant= selects)
+//	GET    /metrics                Prometheus text exposition, every family labelled by tenant
+//	GET    /debug/pprof/           Go profiling endpoints (only with -pprof)
 //
 // Train a model first with `ucad train` (see cmd/ucad).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 	"time"
 
 	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/serve"
+	"github.com/ucad/ucad/internal/tenant"
 	"github.com/ucad/ucad/internal/wal"
 )
 
 func main() {
-	modelPath := flag.String("model", "ucad.model", "trained model file (ucad train)")
+	modelPath := flag.String("model", "ucad.model", "trained model file (ucad train); the default for tenants without one")
+	tenantsFile := flag.String("tenants", "", "JSON tenant specs ([{\"id\":...,\"model\":...}]); empty serves a single default tenant")
 	addr := flag.String("addr", ":8844", "HTTP listen address")
-	workers := flag.Int("workers", 4, "scoring worker-pool size")
-	queue := flag.Int("queue", 1024, "scoring queue capacity (backpressure bound)")
+	workers := flag.Int("workers", 4, "scoring worker-pool size per tenant")
+	queue := flag.Int("queue", 1024, "scoring queue capacity per tenant (backpressure bound)")
 	batch := flag.Int("batch", 16, "scoring micro-batch size per worker pass")
 	idle := flag.Duration("idle-timeout", 10*time.Minute, "close a client session after this inactivity")
 	sweep := flag.Duration("sweep-every", 15*time.Second, "idle close-out sweep period")
-	retrainAfter := flag.Int("retrain-after", 0, "fine-tune when the verified pool reaches this many sessions (0 disables)")
+	retrainAfter := flag.Int("retrain-after", 0, "fine-tune a tenant when its verified pool reaches this many sessions (0 disables)")
 	retrainEpochs := flag.Int("retrain-epochs", 2, "epochs per fine-tune round")
 	trainWorkers := flag.Int("train-workers", 0, "data-parallel workers per fine-tune round (<=0 uses all CPUs)")
 	batchSize := flag.Int("batch-size", 16, "windows per SGD step during fine-tune (gradients summed across the mini-batch)")
-	maxResolved := flag.Int("max-resolved-alerts", 4096, "resolved alerts retained in memory (negative = unbounded)")
+	maxResolved := flag.Int("max-resolved-alerts", 4096, "resolved alerts retained in memory per tenant (negative = unbounded)")
 	resolvedTTL := flag.Duration("resolved-alert-ttl", 24*time.Hour, "evict resolved alerts after this age (negative disables)")
-	dataDir := flag.String("data-dir", "", "durability directory (WAL + snapshots + model checkpoints); empty disables durability")
+	dataDir := flag.String("data-dir", "", "durability root (per-tenant WAL + snapshots + checkpoints); empty disables durability")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always (durable per event), interval, never")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL flush period under -fsync=interval")
 	snapshotEvery := flag.Duration("snapshot-interval", time.Minute, "open-session snapshot/compaction period (0 disables the loop)")
@@ -70,52 +89,60 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/")
 	flag.Parse()
 
-	// With durability on, boot prefers the newest fine-tune checkpoint
-	// whose load succeeds — rolling the manifest back past any that a
-	// crash or bug left unloadable — and falls back to -model.
-	var ckpts *wal.Checkpoints
-	if *dataDir != "" {
-		var err error
-		ckpts, err = wal.OpenCheckpoints(filepath.Join(*dataDir, "checkpoints"), 0)
-		fatalIf(err)
-	}
-	u, from := loadModel(ckpts, *modelPath)
-	fmt.Printf("model loaded from %s\n", from)
-	// The persisted config keeps whatever parallelism the model was
-	// trained with; the serving flags decide what fine-tune rounds use
-	// on this host.
-	u.Model.SetTrainParallelism(*trainWorkers, *batchSize)
-	mcfg := u.Model.Config()
-	fmt.Printf("model: vocab=%d window=%d top-p=%d (fine-tune: %d workers, batch %d)\n",
-		mcfg.Vocab, mcfg.Window, mcfg.TopP, mcfg.EffectiveTrainWorkers(), *batchSize)
+	policy, err := wal.ParseSyncPolicy(*fsync)
+	fatalIf(err)
 
-	cfg := serve.Config{
-		Workers:           *workers,
-		QueueSize:         *queue,
-		Batch:             *batch,
-		IdleTimeout:       *idle,
-		SweepEvery:        *sweep,
-		RetrainAfter:      *retrainAfter,
-		RetrainEpochs:     *retrainEpochs,
-		MaxResolvedAlerts: *maxResolved,
-		ResolvedAlertTTL:  *resolvedTTL,
-	}
-	if *dataDir != "" {
-		policy, err := wal.ParseSyncPolicy(*fsync)
+	// Resolve the boot-time tenant set. Single-tenant mode pins the
+	// default tenant to the legacy flat layout via the Dir override, so a
+	// pre-multi-tenant data directory restores unchanged.
+	var specs []tenant.Spec
+	if *tenantsFile == "" {
+		specs = []tenant.Spec{{ModelPath: *modelPath, Dir: *dataDir}}
+	} else {
+		b, err := os.ReadFile(*tenantsFile)
 		fatalIf(err)
-		cfg.Durability = &serve.DurabilityConfig{
-			Dir:           filepath.Join(*dataDir, "wal"),
+		fatalIf(json.Unmarshal(b, &specs))
+		if len(specs) == 0 {
+			fatalIf(fmt.Errorf("%s: no tenant specs", *tenantsFile))
+		}
+		for i := range specs {
+			if specs[i].ModelPath == "" {
+				specs[i].ModelPath = *modelPath
+			}
+		}
+	}
+
+	reg := tenant.New(tenant.Options{
+		Root: *dataDir,
+		Serve: serve.Config{
+			Workers:           *workers,
+			QueueSize:         *queue,
+			Batch:             *batch,
+			IdleTimeout:       *idle,
+			SweepEvery:        *sweep,
+			RetrainAfter:      *retrainAfter,
+			RetrainEpochs:     *retrainEpochs,
+			MaxResolvedAlerts: *maxResolved,
+			ResolvedAlertTTL:  *resolvedTTL,
+		},
+		Durability: serve.DurabilityConfig{
 			Fsync:         policy,
 			FsyncInterval: *fsyncInterval,
 			SegmentBytes:  *segmentBytes,
 			SnapshotEvery: *snapshotEvery,
-			Checkpoints:   ckpts,
+		},
+		// The persisted config keeps whatever parallelism a model was
+		// trained with; the serving flags decide what fine-tune rounds use
+		// on this host.
+		Tune: func(u *core.UCAD) { u.Model.SetTrainParallelism(*trainWorkers, *batchSize) },
+	})
+	fatalIf(reg.Boot(specs))
+	for _, t := range reg.List() {
+		fmt.Printf("tenant %s: model loaded from %s\n", t.ID(), t.ModelSource())
+		if t.Dir() == "" {
+			continue
 		}
-	}
-	svc := serve.NewService(u, cfg)
-	if cfg.Durability != nil {
-		rst, err := svc.Restore()
-		fatalIf(err)
+		rst := t.RestoreStats()
 		how := "clean shutdown"
 		switch {
 		case rst.CleanSeal:
@@ -124,13 +151,12 @@ func main() {
 		default:
 			how = "crash recovery"
 		}
-		fmt.Printf("durability: %s restored %d open sessions (%s; %d WAL records replayed, fsync=%s)\n",
-			*dataDir, rst.Sessions, how, rst.Records, *fsync)
+		fmt.Printf("tenant %s: restored %d open sessions (%s; %d WAL records replayed, fsync=%s)\n",
+			t.ID(), rst.Sessions, how, rst.Records, *fsync)
 	}
-	svc.Start()
 
 	mux := http.NewServeMux()
-	mux.Handle("/", svc.Handler())
+	mux.Handle("/", reg.Handler())
 	if *pprofOn {
 		// Explicit registration keeps the profiling surface off unless
 		// asked for — no blanket net/http/pprof DefaultServeMux import.
@@ -144,9 +170,9 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("serving on %s with %d workers (queue %d, idle timeout %s)\n",
-		*addr, *workers, *queue, *idle)
-	fmt.Printf("observability: GET /metrics (Prometheus text)")
+	fmt.Printf("serving %d tenant(s) on %s with %d workers each (queue %d, idle timeout %s)\n",
+		len(reg.List()), *addr, *workers, *queue, *idle)
+	fmt.Printf("observability: GET /metrics (Prometheus text, tenant-labelled)")
 	if *pprofOn {
 		fmt.Printf(", GET /debug/pprof/")
 	}
@@ -161,49 +187,21 @@ func main() {
 		fatalIf(err)
 	}
 
-	// Quiesce ingestion first, then shut the service down gracefully:
-	// with durability on, Close drains the queue, snapshots the open
-	// sessions (they come back on the next boot) and seals the log; the
-	// non-durable path flushes open sessions through close-out
-	// detection instead.
+	// Quiesce ingestion first, then shut every tenant down gracefully:
+	// durable tenants drain their queues, snapshot their open sessions
+	// (they come back on the next boot) and seal their logs; non-durable
+	// ones flush open sessions through close-out detection instead.
 	ctx, cancel := context.WithTimeout(context.Background(), *shutdownWait)
 	defer cancel()
 	srv.Shutdown(ctx)
-	if err := svc.Close(ctx); err != nil {
+	if err := reg.Close(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "ucad-serve: shutdown:", err)
 	}
-	st := svc.Stats()
-	fmt.Printf("done: %d events, %d sessions closed, %d open preserved, %d flagged, %d alerts open\n",
-		st.EventsAccepted, st.SessionsClosed, st.SessionsOpen, st.SessionsFlagged, st.AlertsOpen)
-}
-
-// loadModel prefers the newest loadable checkpoint, rolling back past
-// rejected ones, and falls back to the trained model file.
-func loadModel(ckpts *wal.Checkpoints, modelPath string) (*core.UCAD, string) {
-	if ckpts != nil {
-		for path := ckpts.Current(); path != ""; {
-			u, err := loadModelFile(path)
-			if err == nil {
-				return u, path
-			}
-			fmt.Fprintf(os.Stderr, "ucad-serve: checkpoint %s rejected (%v), rolling back\n", path, err)
-			next, rerr := ckpts.Rollback()
-			fatalIf(rerr)
-			path = next
-		}
+	for _, t := range reg.List() {
+		st := t.Stats()
+		fmt.Printf("tenant %s done: %d events, %d sessions closed, %d open preserved, %d flagged, %d alerts open\n",
+			t.ID(), st.EventsAccepted, st.SessionsClosed, st.SessionsOpen, st.SessionsFlagged, st.AlertsOpen)
 	}
-	u, err := loadModelFile(modelPath)
-	fatalIf(err)
-	return u, modelPath
-}
-
-func loadModelFile(path string) (*core.UCAD, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return core.Load(f)
 }
 
 func fatalIf(err error) {

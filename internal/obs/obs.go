@@ -246,6 +246,36 @@ func (v *vec) child(values []string, mk func() any) any {
 	return c
 }
 
+// bind installs c as the child for the label values, panicking if the
+// tuple already has one (func-backed children are exclusive bindings,
+// unlike the lazily created owned instruments).
+func (v *vec) bind(values []string, c any) {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: got %d label values, want %d", len(values), len(v.labels)))
+	}
+	key := renderLabels(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.kids[key]; ok {
+		panic("obs: duplicate binding for {" + key + "}")
+	}
+	v.kids[key] = c
+}
+
+// Remove drops the child for the label values from every vec type
+// (no-op when absent) — the cardinality release valve: when the entity
+// a label value names is decommissioned, its series leave the
+// exposition instead of lingering forever.
+func (v *vec) Remove(values ...string) {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: got %d label values, want %d", len(values), len(v.labels)))
+	}
+	key := renderLabels(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.kids, key)
+}
+
 // sortedKeys returns the child keys in exposition order.
 func (v *vec) sortedKeys() []string {
 	v.mu.RLock()

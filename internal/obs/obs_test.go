@@ -245,3 +245,81 @@ func TestBucketHelpers(t *testing.T) {
 		t.Fatalf("explicit +Inf bucket mishandled: %+v", got)
 	}
 }
+
+func TestFuncVecsBindAndRemove(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterFuncVec("mt_events_total", "per-tenant events", "tenant")
+	gv := r.GaugeFuncVec("mt_sessions_open", "per-tenant open sessions", "tenant")
+	var a, b int64 = 3, 5
+	cv.Bind(func() int64 { return a }, "t1")
+	cv.Bind(func() int64 { return b }, "t2")
+	gv.Bind(func() float64 { return float64(a) }, "t1")
+
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`mt_events_total{tenant="t1"} 3`,
+		`mt_events_total{tenant="t2"} 5`,
+		`mt_sessions_open{tenant="t1"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Children re-read at scrape time.
+	a = 11
+	sb.Reset()
+	r.WriteText(&sb)
+	if !strings.Contains(sb.String(), `mt_events_total{tenant="t1"} 11`) {
+		t.Fatal("func child not re-read at scrape time")
+	}
+
+	// Double-binding a tuple is a wiring bug.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate Bind did not panic")
+			}
+		}()
+		cv.Bind(func() int64 { return 0 }, "t1")
+	}()
+
+	// Remove drops the series; the tuple becomes bindable again.
+	cv.Remove("t1")
+	gv.Remove("t1")
+	sb.Reset()
+	r.WriteText(&sb)
+	if strings.Contains(sb.String(), `tenant="t1"`) {
+		t.Fatalf("removed children still exposed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `mt_events_total{tenant="t2"} 5`) {
+		t.Fatal("Remove disturbed a sibling child")
+	}
+	cv.Bind(func() int64 { return 1 }, "t1")
+}
+
+func TestOwnedVecRemove(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("owned_total", "", "tenant")
+	hv := r.HistogramVec("owned_seconds", "", []float64{1}, "tenant")
+	cv.With("t1").Inc()
+	cv.With("t2").Add(2)
+	hv.With("t1").Observe(0.5)
+	cv.Remove("t1")
+	hv.Remove("t1")
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	if strings.Contains(out, `tenant="t1"`) {
+		t.Fatalf("removed owned children still exposed:\n%s", out)
+	}
+	if !strings.Contains(out, `owned_total{tenant="t2"} 2`) {
+		t.Fatal("sibling child lost")
+	}
+	// A fresh With after Remove starts a new child from zero.
+	if got := cv.With("t1").Value(); got != 0 {
+		t.Fatalf("recreated child = %d, want 0", got)
+	}
+}

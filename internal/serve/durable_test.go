@@ -312,10 +312,10 @@ func TestDurableNotReadyAndMetrics(t *testing.T) {
 	s.Handler().ServeHTTP(rec, req)
 	body := rec.Body.String()
 	for _, family := range []string{
-		"ucad_wal_appends_total 3",
-		"ucad_wal_fsync_seconds_count",
+		`ucad_wal_appends_total{tenant="default"} 3`,
+		`ucad_wal_fsync_seconds_count{tenant="default"}`,
 		"ucad_wal_segment_bytes",
-		"ucad_wal_recovered_sessions 0",
+		`ucad_wal_recovered_sessions{tenant="default"} 0`,
 		"ucad_snapshot_seconds",
 	} {
 		if !strings.Contains(body, family) {

@@ -53,14 +53,14 @@ type eventsResponse struct {
 }
 
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
-	events, isArray, err := decodeEvents(r)
+	events, isArray, err := DecodeEvents(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, eventsResponse{Error: err.Error()})
 		return
 	}
 	if !isArray {
 		if err := s.Ingest(events[0]); err != nil {
-			writeJSON(w, ingestStatusCode(w, err), eventsResponse{Error: err.Error()})
+			writeJSON(w, IngestStatusCode(w, err), eventsResponse{Error: err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusAccepted, eventsResponse{Accepted: 1})
@@ -89,15 +89,16 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	code := http.StatusAccepted
 	if firstErr != nil {
-		code = ingestStatusCode(w, firstErr)
+		code = IngestStatusCode(w, firstErr)
 	}
 	writeJSON(w, code, eventsResponse{Accepted: accepted, Events: statuses})
 }
 
-// ingestStatusCode maps an Ingest error to its HTTP status, setting
+// IngestStatusCode maps an Ingest error to its HTTP status, setting
 // Retry-After on backpressure rejections (the rolled-back events are
-// safe to resend).
-func ingestStatusCode(w http.ResponseWriter, err error) int {
+// safe to resend). Exported for internal/tenant's router, which reuses
+// the single-tenant error contract per routed event.
+func IngestStatusCode(w http.ResponseWriter, err error) int {
 	switch {
 	case errors.Is(err, ErrBusy):
 		w.Header().Set("Retry-After", "1")
@@ -109,9 +110,11 @@ func ingestStatusCode(w http.ResponseWriter, err error) int {
 	}
 }
 
-// decodeEvents accepts either a single JSON event object or an array,
+// DecodeEvents accepts either a single JSON event object or an array,
 // reporting which shape arrived so the response can mirror it.
-func decodeEvents(r *http.Request) (events []Event, isArray bool, err error) {
+// Exported for internal/tenant's router, which decodes once and then
+// routes per event.
+func DecodeEvents(r *http.Request) (events []Event, isArray bool, err error) {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
 	var raw json.RawMessage
 	if err := dec.Decode(&raw); err != nil {

@@ -53,6 +53,11 @@ func scrapeMetrics(t *testing.T, url string) (map[string]float64, string) {
 	return out, body
 }
 
+// dt labels a series with the default tenant — the form every serve
+// family exports under since the MetricsHub refactor (a single-tenant
+// deployment is the default tenant of a one-tenant hub).
+func dt(name string) string { return name + `{tenant="default"}` }
+
 // TestServiceMetricsScrapeEndToEnd is the observability acceptance
 // path: events stream in over HTTP, the worker pool scores them, and a
 // /metrics scrape must show the stage-latency histograms populated with
@@ -108,19 +113,19 @@ func TestServiceMetricsScrapeEndToEnd(t *testing.T) {
 	events := float64(clients * opsPerClient)
 	scored := float64(clients * (opsPerClient - u.Model.Config().MinContext))
 	checks := map[string]float64{
-		"ucad_events_accepted_total":    events,
-		"ucad_ingest_seconds_count":     events,
-		"ucad_ops_scored_total":         scored,
-		"ucad_queue_wait_seconds_count": scored,
-		"ucad_score_batch_size_sum":     scored, // batch sizes sum to jobs drained
-		"ucad_sessions_open":            clients,
-		"ucad_sessions_opened_total":    clients,
-		"ucad_flags_mid_session_total":  1,
-		"ucad_alerts_open":              1,
-		"ucad_alerts_raised_total":      1,
-		"ucad_events_rejected_total":    0,
-		"ucad_ops_rejected_total":       0,
-		"ucad_retrains_total":           0,
+		dt("ucad_events_accepted_total"):    events,
+		dt("ucad_ingest_seconds_count"):     events,
+		dt("ucad_ops_scored_total"):         scored,
+		dt("ucad_queue_wait_seconds_count"): scored,
+		dt("ucad_score_batch_size_sum"):     scored, // batch sizes sum to jobs drained
+		dt("ucad_sessions_open"):            clients,
+		dt("ucad_sessions_opened_total"):    clients,
+		dt("ucad_flags_mid_session_total"):  1,
+		dt("ucad_alerts_open"):              1,
+		dt("ucad_alerts_raised_total"):      1,
+		dt("ucad_events_rejected_total"):    0,
+		dt("ucad_ops_rejected_total"):       0,
+		dt("ucad_retrains_total"):           0,
 	}
 	for series, want := range checks {
 		got, ok := m[series]
@@ -134,22 +139,22 @@ func TestServiceMetricsScrapeEndToEnd(t *testing.T) {
 	// The score histogram observes fused micro-batches, not jobs: one
 	// sample per drain, between 1 (everything fused) and scored (no
 	// fusion), and exactly one batch-size sample per timed pass.
-	passes := m["ucad_score_seconds_count"]
+	passes := m[dt("ucad_score_seconds_count")]
 	if passes < 1 || passes > scored {
 		t.Fatalf("score_seconds_count = %v, want in [1, %v]", passes, scored)
 	}
-	if got := m["ucad_score_batch_size_count"]; got != passes {
+	if got := m[dt("ucad_score_batch_size_count")]; got != passes {
 		t.Fatalf("score_batch_size_count = %v, want %v (one per fused pass)", got, passes)
 	}
 	// Latency histograms carry real (positive) time.
-	for _, series := range []string{"ucad_ingest_seconds_sum", "ucad_score_seconds_sum"} {
+	for _, series := range []string{dt("ucad_ingest_seconds_sum"), dt("ucad_score_seconds_sum")} {
 		if m[series] <= 0 {
 			t.Fatalf("%s = %v, want > 0", series, m[series])
 		}
 	}
 	// Cumulative bucket counts must reach the +Inf bucket.
-	if m[`ucad_score_seconds_bucket{le="+Inf"}`] != passes {
-		t.Fatalf("score +Inf bucket = %v, want %v", m[`ucad_score_seconds_bucket{le="+Inf"}`], passes)
+	if m[`ucad_score_seconds_bucket{tenant="default",le="+Inf"}`] != passes {
+		t.Fatalf("score +Inf bucket = %v, want %v", m[`ucad_score_seconds_bucket{tenant="default",le="+Inf"}`], passes)
 	}
 
 	// Close out every session and confirm the alert: the close-out
@@ -167,18 +172,18 @@ func TestServiceMetricsScrapeEndToEnd(t *testing.T) {
 	}
 
 	m, _ = scrapeMetrics(t, ts.URL+"/metrics")
-	if m["ucad_closeout_seconds_count"] != clients {
-		t.Fatalf("closeout count = %v, want %d", m["ucad_closeout_seconds_count"], clients)
+	if m[dt("ucad_closeout_seconds_count")] != clients {
+		t.Fatalf("closeout count = %v, want %d", m[dt("ucad_closeout_seconds_count")], clients)
 	}
-	if m[`ucad_alerts_resolved_total{verdict="confirmed"}`] != 1 {
+	if m[`ucad_alerts_resolved_total{tenant="default",verdict="confirmed"}`] != 1 {
 		t.Fatal("confirmed verdict not counted")
 	}
-	if m["ucad_sessions_closed_total"] != clients || m["ucad_sessions_processed_total"] != clients {
+	if m[dt("ucad_sessions_closed_total")] != clients || m[dt("ucad_sessions_processed_total")] != clients {
 		t.Fatalf("session close-out counters: closed=%v processed=%v",
-			m["ucad_sessions_closed_total"], m["ucad_sessions_processed_total"])
+			m[dt("ucad_sessions_closed_total")], m[dt("ucad_sessions_processed_total")])
 	}
-	if m["ucad_verified_pool"] != clients-1 {
-		t.Fatalf("verified pool = %v, want %d", m["ucad_verified_pool"], clients-1)
+	if m[dt("ucad_verified_pool")] != clients-1 {
+		t.Fatalf("verified pool = %v, want %d", m[dt("ucad_verified_pool")], clients-1)
 	}
 
 	// /stats and /metrics read the same counters — spot-check the pairs.
@@ -187,13 +192,13 @@ func TestServiceMetricsScrapeEndToEnd(t *testing.T) {
 		series string
 		stat   float64
 	}{
-		{"ucad_events_accepted_total", float64(st.EventsAccepted)},
-		{"ucad_ops_scored_total", float64(st.OpsScored)},
-		{"ucad_ops_rejected_total", float64(st.OpsRejected)},
-		{"ucad_sessions_open", float64(st.SessionsOpen)},
-		{"ucad_alerts_raised_total", float64(st.AlertsRaised)},
-		{"ucad_alerts_evicted_total", float64(st.AlertsEvicted)},
-		{"ucad_uptime_seconds", st.UptimeSeconds},
+		{dt("ucad_events_accepted_total"), float64(st.EventsAccepted)},
+		{dt("ucad_ops_scored_total"), float64(st.OpsScored)},
+		{dt("ucad_ops_rejected_total"), float64(st.OpsRejected)},
+		{dt("ucad_sessions_open"), float64(st.SessionsOpen)},
+		{dt("ucad_alerts_raised_total"), float64(st.AlertsRaised)},
+		{dt("ucad_alerts_evicted_total"), float64(st.AlertsEvicted)},
+		{dt("ucad_uptime_seconds"), st.UptimeSeconds},
 	}
 	for _, p := range pairs {
 		if m[p.series] != p.stat {

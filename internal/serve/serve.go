@@ -22,6 +22,10 @@ import (
 // Event is one raw audit-log record as it arrives from a database
 // frontend: which client issued which statement when.
 type Event struct {
+	// Tenant routes the event to a named tenant's pipeline in
+	// multi-tenant deployments (internal/tenant); empty means the
+	// deployment's default tenant. A single-tenant Service ignores it.
+	Tenant string `json:"tenant,omitempty"`
 	// ClientID identifies the connection/session stream; events sharing
 	// a ClientID are assembled into one session. Empty falls back to
 	// user@addr.

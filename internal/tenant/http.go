@@ -1,0 +1,284 @@
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"github.com/ucad/ucad/internal/serve"
+)
+
+// CodeUnknownTenant is the machine-readable error code a routing miss
+// answers with — distinguishable from a bad payload (plain 400) so a
+// misconfigured frontend shows up as exactly that.
+const CodeUnknownTenant = "unknown_tenant"
+
+// TenantHeader routes events whose body carries no tenant field.
+const TenantHeader = "X-UCAD-Tenant"
+
+// Handler returns the multi-tenant HTTP surface:
+//
+//	POST   /v1/events                  ingest, routed per event: body "tenant"
+//	                                   field → X-UCAD-Tenant header → ?tenant= → default
+//	GET    /v1/tenants                 list tenants (id, model source, stats)
+//	POST   /v1/tenants                 create a tenant from a JSON Spec
+//	DELETE /v1/tenants/{id}            delete a tenant and its data dir
+//	POST   /v1/tenants/{id}/drain      quiesce a tenant (keeps it queryable)
+//	GET    /v1/tenants/{id}/stats      that tenant's serving counters
+//	GET    /v1/tenants/{id}/alerts     that tenant's alerts (and .../alerts/{aid}/resolve)
+//	GET    /v1/alerts, /stats          default-tenant views (?tenant= overrides) —
+//	                                   the single-tenant API, unchanged
+//	GET    /healthz                    liveness
+//	GET    /metrics                    shared Prometheus exposition, tenant-labelled
+//
+// Events routed to a nonexistent tenant answer a structured 404 with
+// code "unknown_tenant"; per-event statuses carry the same code inside
+// batch responses.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/events", r.handleEvents)
+	mux.HandleFunc("GET /v1/tenants", r.handleList)
+	mux.HandleFunc("POST /v1/tenants", r.handleCreate)
+	mux.HandleFunc("DELETE /v1/tenants/{id}", r.handleDelete)
+	mux.HandleFunc("POST /v1/tenants/{id}/drain", r.handleDrain)
+	mux.HandleFunc("GET /v1/tenants/{id}/stats", r.handleTenantStats)
+	mux.Handle("/v1/tenants/{id}/alerts", http.HandlerFunc(r.handleTenantScoped))
+	mux.Handle("/v1/tenants/{id}/alerts/", http.HandlerFunc(r.handleTenantScoped))
+	mux.HandleFunc("GET /v1/alerts", r.delegate)
+	mux.HandleFunc("POST /v1/alerts/{aid}/resolve", r.delegate)
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
+		t, err := r.Get(req.URL.Query().Get("tenant"))
+		if err != nil {
+			writeTenantErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, t.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.Handle("GET /metrics", r.hub.Registry.Handler())
+	return mux
+}
+
+// eventStatus mirrors serve's per-event batch status, plus the
+// machine-readable code for routing misses.
+type eventStatus struct {
+	Status string `json:"status"`          // "accepted" or "rejected"
+	Error  string `json:"error,omitempty"` // rejection reason
+	Code   string `json:"code,omitempty"`  // "unknown_tenant" on a routing miss
+}
+
+// eventsResponse mirrors serve's response shape with the added Code.
+type eventsResponse struct {
+	Accepted int           `json:"accepted"`
+	Error    string        `json:"error,omitempty"`
+	Code     string        `json:"code,omitempty"`
+	Events   []eventStatus `json:"events,omitempty"`
+}
+
+// handleEvents is the routed ingest path. Batches may mix tenants; each
+// event resolves independently so one bad tenant id rejects only its
+// own events.
+func (r *Registry) handleEvents(w http.ResponseWriter, req *http.Request) {
+	events, isArray, err := serve.DecodeEvents(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, eventsResponse{Error: err.Error()})
+		return
+	}
+	// Request-level fallback for events without a body tenant field.
+	fallback := req.Header.Get(TenantHeader)
+	if fallback == "" {
+		fallback = req.URL.Query().Get("tenant")
+	}
+	route := func(ev serve.Event) error {
+		if ev.Tenant == "" {
+			ev.Tenant = fallback
+		}
+		return r.Ingest(ev)
+	}
+	if !isArray {
+		if err := route(events[0]); err != nil {
+			code, ecode := routedStatusCode(w, err)
+			writeJSON(w, code, eventsResponse{Error: err.Error(), Code: ecode})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, eventsResponse{Accepted: 1})
+		return
+	}
+	statuses := make([]eventStatus, len(events))
+	accepted := 0
+	var firstErr error
+	for i, ev := range events {
+		err := route(ev)
+		if err == nil {
+			statuses[i] = eventStatus{Status: "accepted"}
+			accepted++
+			continue
+		}
+		statuses[i] = eventStatus{Status: "rejected", Error: err.Error()}
+		if errors.Is(err, ErrUnknownTenant) {
+			statuses[i].Code = CodeUnknownTenant
+		}
+		// Backpressure outranks validation errors for the batch status
+		// code (same contract as the single-tenant handler): a 503 tells
+		// the client the rejected events are retryable.
+		if firstErr == nil || (errors.Is(err, serve.ErrBusy) || errors.Is(err, serve.ErrStopped)) &&
+			!(errors.Is(firstErr, serve.ErrBusy) || errors.Is(firstErr, serve.ErrStopped)) {
+			firstErr = err
+		}
+	}
+	code, ecode := http.StatusAccepted, ""
+	if firstErr != nil {
+		code, ecode = routedStatusCode(w, firstErr)
+	}
+	writeJSON(w, code, eventsResponse{Accepted: accepted, Events: statuses, Code: ecode})
+}
+
+// routedStatusCode extends serve.IngestStatusCode with the routing
+// errors: unknown tenant is a structured 404, draining a 503 (the
+// tenant may come back or be deleted — retry and find out).
+func routedStatusCode(w http.ResponseWriter, err error) (httpCode int, errCode string) {
+	switch {
+	case errors.Is(err, ErrUnknownTenant):
+		return http.StatusNotFound, CodeUnknownTenant
+	case errors.Is(err, ErrInvalidID):
+		return http.StatusNotFound, CodeUnknownTenant
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrRegistryClosed):
+		return http.StatusServiceUnavailable, ""
+	default:
+		return serve.IngestStatusCode(w, err), ""
+	}
+}
+
+// Info is the admin-API view of one tenant.
+type Info struct {
+	ID          string      `json:"id"`
+	Model       string      `json:"model,omitempty"` // what the model loaded from
+	Dir         string      `json:"dir,omitempty"`
+	Draining    bool        `json:"draining,omitempty"`
+	Recovered   int         `json:"recovered_sessions"`
+	CleanSeal   bool        `json:"clean_seal"`
+	WALReplayed int         `json:"wal_records_replayed"`
+	Stats       serve.Stats `json:"stats"`
+}
+
+func (t *Tenant) info() Info {
+	return Info{
+		ID:          t.id,
+		Model:       t.modelFrom,
+		Dir:         t.dir,
+		Draining:    t.Draining(),
+		Recovered:   t.restore.Sessions,
+		CleanSeal:   t.restore.CleanSeal,
+		WALReplayed: t.restore.Records,
+		Stats:       t.Stats(),
+	}
+}
+
+func (r *Registry) handleList(w http.ResponseWriter, req *http.Request) {
+	ts := r.List()
+	out := make([]Info, len(ts))
+	for i, t := range ts {
+		out[i] = t.info()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (r *Registry) handleCreate(w http.ResponseWriter, req *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20)).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid tenant spec"})
+		return
+	}
+	// The admin API never accepts a directory override: Spec.Dir exists
+	// for the CLI's legacy single-tenant layout, and honoring it here
+	// would let a request point a tenant at an arbitrary path.
+	spec.Dir = ""
+	t, err := r.Create(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrTenantExists) {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, t.info())
+}
+
+func (r *Registry) handleDelete(w http.ResponseWriter, req *http.Request) {
+	if err := r.Delete(req.PathValue("id")); err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (r *Registry) handleDrain(w http.ResponseWriter, req *http.Request) {
+	t, err := r.Drain(req.PathValue("id"))
+	if err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.info())
+}
+
+func (r *Registry) handleTenantStats(w http.ResponseWriter, req *http.Request) {
+	t, err := r.Get(req.PathValue("id"))
+	if err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Stats())
+}
+
+// handleTenantScoped rewrites /v1/tenants/{id}/alerts... onto the
+// tenant's own cached single-tenant handler, so the per-tenant alert
+// surface is exactly the single-tenant one.
+func (r *Registry) handleTenantScoped(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	t, err := r.Get(id)
+	if err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	rest := strings.TrimPrefix(req.URL.Path, "/v1/tenants/"+id)
+	r2 := req.Clone(req.Context())
+	r2.URL.Path = "/v1" + rest
+	t.handler.Load().h.ServeHTTP(w, r2)
+}
+
+// delegate forwards a top-level single-tenant endpoint (alerts) to the
+// ?tenant= tenant, defaulting to the default tenant — the unchanged
+// single-tenant API.
+func (r *Registry) delegate(w http.ResponseWriter, req *http.Request) {
+	t, err := r.Get(req.URL.Query().Get("tenant"))
+	if err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	t.handler.Load().h.ServeHTTP(w, req)
+}
+
+// writeTenantErr renders a lifecycle/routing error with the structured
+// code where one applies.
+func writeTenantErr(w http.ResponseWriter, err error) {
+	body := map[string]string{"error": err.Error()}
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrUnknownTenant):
+		code = http.StatusNotFound
+		body["code"] = CodeUnknownTenant
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrRegistryClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -131,10 +131,10 @@ func (g *logGrammar) build(nTrain, nTestNormal, nTestAbnormal int, seed int64) *
 	return d
 }
 
-// HDFSLike simulates the HDFS block-lifecycle log: sessions are block
-// ids; procedures are allocate/replicate/read/delete chains.
-func HDFSLike(nTrain, nTestNormal, nTestAbnormal int, seed int64) *LogDataset {
-	g := &logGrammar{
+// hdfsGrammar is the HDFS block-lifecycle grammar shared by the batch
+// dataset builder (HDFSLike) and the streaming source (NewLogSource).
+func hdfsGrammar() *logGrammar {
+	return &logGrammar{
 		name: "HDFS",
 		procedures: [][]int{
 			{1, 2, 2, 2, 3, 3, 3}, // allocate, receiving x3, received x3
@@ -153,13 +153,17 @@ func HDFSLike(nTrain, nTestNormal, nTestAbnormal int, seed int64) *LogDataset {
 		anomalyKeys:    []int{10, 11, 12}, // exception, timeout, redundant-replica
 		vocab:          14,
 	}
-	return g.build(nTrain, nTestNormal, nTestAbnormal, seed)
 }
 
-// BGLLike simulates the Blue Gene/L RAS log: per-component event chains
-// with kernel/network/app procedures.
-func BGLLike(nTrain, nTestNormal, nTestAbnormal int, seed int64) *LogDataset {
-	g := &logGrammar{
+// HDFSLike simulates the HDFS block-lifecycle log: sessions are block
+// ids; procedures are allocate/replicate/read/delete chains.
+func HDFSLike(nTrain, nTestNormal, nTestAbnormal int, seed int64) *LogDataset {
+	return hdfsGrammar().build(nTrain, nTestNormal, nTestAbnormal, seed)
+}
+
+// bglGrammar is the Blue Gene/L RAS grammar.
+func bglGrammar() *logGrammar {
+	return &logGrammar{
 		name: "BGL",
 		procedures: [][]int{
 			{1, 2, 3},       // boot: power, kernel up, net up
@@ -178,13 +182,17 @@ func BGLLike(nTrain, nTestNormal, nTestAbnormal int, seed int64) *LogDataset {
 		anomalyKeys:    []int{9, 10, 11, 12}, // ECC error, link failure, panic, fan fault
 		vocab:          15,
 	}
-	return g.build(nTrain, nTestNormal, nTestAbnormal, seed)
 }
 
-// ThunderbirdLike simulates the Thunderbird supercomputer syslog:
-// longer admin/daemon procedures with a small anomaly rate.
-func ThunderbirdLike(nTrain, nTestNormal, nTestAbnormal int, seed int64) *LogDataset {
-	g := &logGrammar{
+// BGLLike simulates the Blue Gene/L RAS log: per-component event chains
+// with kernel/network/app procedures.
+func BGLLike(nTrain, nTestNormal, nTestAbnormal int, seed int64) *LogDataset {
+	return bglGrammar().build(nTrain, nTestNormal, nTestAbnormal, seed)
+}
+
+// thunderbirdGrammar is the Thunderbird supercomputer syslog grammar.
+func thunderbirdGrammar() *logGrammar {
+	return &logGrammar{
 		name: "Thunderbird",
 		procedures: [][]int{
 			{1, 2, 2, 3},       // session open, auth x2, env
@@ -203,5 +211,10 @@ func ThunderbirdLike(nTrain, nTestNormal, nTestAbnormal int, seed int64) *LogDat
 		anomalyKeys:    []int{10, 11, 12, 13}, // oom, disk error, auth failure burst, watchdog
 		vocab:          15,
 	}
-	return g.build(nTrain, nTestNormal, nTestAbnormal, seed)
+}
+
+// ThunderbirdLike simulates the Thunderbird supercomputer syslog:
+// longer admin/daemon procedures with a small anomaly rate.
+func ThunderbirdLike(nTrain, nTestNormal, nTestAbnormal int, seed int64) *LogDataset {
+	return thunderbirdGrammar().build(nTrain, nTestNormal, nTestAbnormal, seed)
 }
