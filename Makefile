@@ -37,16 +37,16 @@ bench:
 # A fast scoring/training-benchmark pass (sub-minute) that CI runs on
 # every build: it does not gate on throughput numbers, but catches hot
 # paths that break outright or regress catastrophically. The combined
-# text output is converted to BENCH_PR6.json (serve throughput single-
-# and 4-tenant, batch scoring, training windows/sec) for the CI
-# artifact.
+# text output is converted to BENCH_PR7.json (serve throughput single-
+# and 4-tenant, feed front-door lines/sec, batch scoring, training
+# windows/sec) for the CI artifact.
 bench-smoke:
 	{ \
-	  $(GO) test -bench='BenchmarkScoreBatch|BenchmarkDetectionScore|BenchmarkServeThroughput' -benchtime=100ms -run='^$$' . && \
+	  $(GO) test -bench='BenchmarkScoreBatch|BenchmarkDetectionScore|BenchmarkServeThroughput|BenchmarkFeedThroughput' -benchtime=100ms -run='^$$' . && \
 	  $(GO) test -bench=BenchmarkTrainEpoch -benchtime=1x -benchmem -run='^$$' . && \
 	  $(GO) test -bench=BenchmarkScoreSequentialTape -benchtime=100ms -run='^$$' ./internal/transdas/ ; \
 	} | tee bench-smoke.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR6.json < bench-smoke.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR7.json < bench-smoke.out
 	@rm -f bench-smoke.out
 
 serve-bench:

@@ -7,16 +7,21 @@ package ucad
 // `cmd/ucad-experiments -all -scale demo` for the larger printed runs.
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
 	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/experiments"
+	"github.com/ucad/ucad/internal/feed"
 	"github.com/ucad/ucad/internal/nn"
 	"github.com/ucad/ucad/internal/preprocess"
 	"github.com/ucad/ucad/internal/serve"
@@ -445,4 +450,75 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 		gen := workload.NewGenerator(workload.ScenarioI(), int64(i))
 		gen.GenerateSessions(100)
 	}
+}
+
+// BenchmarkFeedThroughput drives the streaming front door end to end:
+// a pre-written JSONL audit log is tailed, parsed, sessionized, and
+// delivered in batches (with per-batch offset checkpoints) into the
+// full serving pipeline. Reports audit lines/sec through the whole
+// chain.
+func BenchmarkFeedThroughput(b *testing.B) {
+	u, stmts := benchServeModel(b)
+	dir := b.TempDir()
+	logPath := filepath.Join(dir, "audit.jsonl")
+
+	const clients = 32
+	f, err := os.Create(logPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	enc := json.NewEncoder(w)
+	for i := 0; i < b.N; i++ {
+		op := session.Operation{
+			User:      "app",
+			Addr:      "10.0.0.1",
+			SessionID: fmt.Sprintf("bench-client-%d", i%clients),
+			SQL:       stmts[i%len(stmts)],
+		}
+		if err := enc.Encode(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	f.Close()
+
+	svc := serve.NewService(u, serve.Config{
+		Workers:     4,
+		QueueSize:   4096,
+		Batch:       16,
+		IdleTimeout: time.Hour,
+	})
+	defer svc.Stop()
+
+	tailer, err := feed.NewTailer(feed.TailerConfig{Path: logPath, Poll: time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	feeder, err := feed.NewFeeder(feed.FeederConfig{
+		Source:         tailer,
+		Deliver:        &feed.ServiceDeliverer{Svc: svc},
+		CheckpointPath: filepath.Join(dir, "feed.ckpt"),
+		BatchSize:      256,
+		FlushInterval:  time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- feeder.Run(ctx) }()
+	for svc.Stats().EventsAccepted < int64(b.N) {
+		runtime.Gosched()
+	}
+	cancel()
+	<-done
+	svc.Drain()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lines/sec")
 }

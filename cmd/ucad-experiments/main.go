@@ -19,7 +19,7 @@ import (
 
 func main() {
 	scale := flag.String("scale", "demo", "experiment scale: quick, demo or paper")
-	table := flag.Int("table", 0, "regenerate one table (1-6)")
+	table := flag.Int("table", 0, "regenerate one table (1-7; 7 is the A1-A6 attack-taxonomy table)")
 	figure := flag.Int("figure", 0, "regenerate one figure (6-8)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -69,6 +69,10 @@ func main() {
 	}
 	if *all || *table == 6 {
 		run("Table 6", func() { experiments.Table6(opt, w) })
+		ran = true
+	}
+	if *all || *table == 7 {
+		run("Table 7", func() { experiments.TableAttacks(opt, w) })
 		ran = true
 	}
 	if *all || *figure == 6 {

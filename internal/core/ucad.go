@@ -34,6 +34,12 @@ type Config struct {
 	// SkipClean disables noise removal (used by the preprocessing
 	// ablation).
 	SkipClean bool
+	// DynamicVocab learns ADALog-style dynamic templates (variable-length
+	// IN lists collapse to one key) instead of the paper's classic
+	// one-placeholder-per-literal abstraction. The mode is persisted with
+	// the vocabulary, so detection after Load keys statements the same
+	// way training did.
+	DynamicVocab bool
 	// IdleGap splits raw logs into sessions when no session id is
 	// recorded.
 	IdleGap time.Duration
@@ -72,6 +78,9 @@ func Train(cfg Config, sessions []*session.Session, progress func(epoch int, los
 		}
 	}
 	vocab := sqlnorm.NewVocabulary()
+	if cfg.DynamicVocab {
+		vocab = sqlnorm.NewDynamicVocabulary()
+	}
 	session.TokenizeLearn(vocab, sessions)
 
 	var report preprocess.CleanReport
@@ -163,12 +172,9 @@ func Load(r io.Reader) (*UCAD, error) {
 	if err := gob.NewDecoder(r).Decode(&templates); err != nil {
 		return nil, fmt.Errorf("core: decode vocabulary: %w", err)
 	}
-	vocab := sqlnorm.NewVocabulary()
-	for _, tpl := range templates {
-		if tpl == "" {
-			continue
-		}
-		vocab.Learn(tpl)
+	vocab, err := sqlnorm.FromTemplates(templates)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	model, err := transdas.Load(r)
 	if err != nil {

@@ -104,6 +104,51 @@ func TestTable2Shape(t *testing.T) {
 	}
 }
 
+func TestTableAttacksShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attack-taxonomy evaluation is slow")
+	}
+	t.Parallel()
+	rows := TableAttacks(quickOpt(), nil)
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (2 scenarios x A1-A6)", len(rows))
+	}
+	byFam := map[string]map[string]AttackRow{}
+	for _, r := range rows {
+		if r.Precision < 0 || r.Precision > 1 || r.Recall < 0 || r.Recall > 1 {
+			t.Fatalf("%s/%s out of range: %+v", r.Scenario, r.Family, r)
+		}
+		if r.Sessions == 0 {
+			t.Fatalf("%s/%s has no sessions", r.Scenario, r.Family)
+		}
+		if byFam[r.Scenario] == nil {
+			byFam[r.Scenario] = map[string]AttackRow{}
+		}
+		byFam[r.Scenario][r.Family] = r
+	}
+	for sc, fams := range byFam {
+		for _, f := range []string{"A1", "A2", "A3", "A4", "A5", "A6"} {
+			if _, ok := fams[f]; !ok {
+				t.Fatalf("%s missing family %s", sc, f)
+			}
+		}
+		// Shape: volume anomalies (A1 privilege abuse, A6 mass-delete
+		// bursts) are caught reliably; the pure-ordering A5 attacks are
+		// the hardest family — its recall must not beat the burst
+		// families'.
+		if r := fams["A1"].Recall; r < 0.7 {
+			t.Errorf("%s: A1 recall %.3f too low", sc, r)
+		}
+		if r := fams["A6"].Recall; r < 0.7 {
+			t.Errorf("%s: A6 recall %.3f too low", sc, r)
+		}
+		if fams["A5"].Recall > fams["A6"].Recall {
+			t.Errorf("%s: A5 (pure ordering) recall %.3f beats A6 %.3f — unexpected ordering sensitivity",
+				sc, fams["A5"].Recall, fams["A6"].Recall)
+		}
+	}
+}
+
 func TestTable3AblationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweep is slow")

@@ -1,0 +1,89 @@
+package feed
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+
+	"github.com/ucad/ucad/internal/session"
+)
+
+// DBSource is an in-process source fed straight from a database engine's
+// audit hook (it implements minidb.AuditSink). Operations buffer in a
+// bounded channel; Append blocks when the feeder falls behind, which
+// pushes backpressure into the database's statement path rather than
+// dropping audit records.
+//
+// DBSource has no durable position — it is the single-binary wiring
+// where the engine, feeder and detector share a process and restart
+// together. Deployments that need resume-after-crash should log through
+// minidb.AuditWriter and tail the file instead.
+type DBSource struct {
+	ch   chan session.Operation
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+// NewDBSource builds a source with the given buffer depth (<= 0 means
+// 1024).
+func NewDBSource(depth int) *DBSource {
+	if depth <= 0 {
+		depth = 1024
+	}
+	return &DBSource{ch: make(chan session.Operation, depth), done: make(chan struct{})}
+}
+
+// ErrSourceClosed reports an Append after Close.
+var ErrSourceClosed = errors.New("feed: source closed")
+
+// Append implements minidb.AuditSink.
+func (s *DBSource) Append(op session.Operation) error {
+	select {
+	case <-s.done:
+		return ErrSourceClosed
+	default:
+	}
+	select {
+	case s.ch <- op:
+		return nil
+	case <-s.done:
+		return ErrSourceClosed
+	}
+}
+
+// Next implements Source. After Close it drains the buffer, then
+// reports io.EOF.
+func (s *DBSource) Next(ctx context.Context) (session.Operation, error) {
+	select {
+	case op := <-s.ch:
+		return op, nil
+	default:
+	}
+	select {
+	case op := <-s.ch:
+		return op, nil
+	case <-s.done:
+		// Closed mid-wait; the buffer may still have a tail.
+		select {
+		case op := <-s.ch:
+			return op, nil
+		default:
+			return session.Operation{}, io.EOF
+		}
+	case <-ctx.Done():
+		return session.Operation{}, ctx.Err()
+	}
+}
+
+// Close implements Source; it unblocks waiting producers and consumers.
+func (s *DBSource) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+	return nil
+}

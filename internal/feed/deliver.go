@@ -1,0 +1,200 @@
+package feed
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/ucad/ucad/internal/serve"
+	"github.com/ucad/ucad/internal/tenant"
+)
+
+// Deliverer hands a batch of events to the serving layer. Deliver must
+// be all-or-nothing from the feeder's point of view: it returns nil
+// only when every deliverable event was acknowledged (invalid events —
+// ones the server can never accept — are skipped, not failed), and it
+// retries transient rejections internally until ctx is done. Redelivery
+// after a partial failure is safe: events carry sequence numbers and
+// the serving layer deduplicates.
+type Deliverer interface {
+	Deliver(ctx context.Context, events []serve.Event) error
+}
+
+// Backoff is a capped exponential retry schedule.
+type Backoff struct {
+	// Min is the first delay (default 50ms).
+	Min time.Duration
+	// Max caps the delay (default 5s).
+	Max time.Duration
+}
+
+// delay returns the backoff for the given retry attempt (0-based).
+func (b Backoff) delay(attempt int) time.Duration {
+	min, max := b.Min, b.Max
+	if min <= 0 {
+		min = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := min << uint(attempt)
+	if d > max || d < min { // d < min catches shift overflow
+		d = max
+	}
+	return d
+}
+
+// sleep waits out the delay or the context, whichever ends first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// ServiceDeliverer ingests events directly into an in-process
+// serve.Service (the single-binary wiring). Backpressure (ErrBusy) is
+// retried with backoff; invalid events are skipped.
+type ServiceDeliverer struct {
+	Svc     *serve.Service
+	Backoff Backoff
+	Metrics *SourceMetrics
+}
+
+// Deliver implements Deliverer.
+func (d *ServiceDeliverer) Deliver(ctx context.Context, events []serve.Event) error {
+	for _, ev := range events {
+		for attempt := 0; ; attempt++ {
+			err := d.Svc.Ingest(ev)
+			switch {
+			case err == nil:
+				d.Metrics.delivered(1)
+			case errors.Is(err, serve.ErrInvalid):
+				// The server can never accept it; dropping beats wedging
+				// the stream.
+			case errors.Is(err, serve.ErrBusy):
+				d.Metrics.retried()
+				if serr := sleep(ctx, d.Backoff.delay(attempt)); serr != nil {
+					return serr
+				}
+				continue
+			default:
+				return fmt.Errorf("feed: ingest: %w", err)
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// HTTPDeliverer posts event batches to a ucad-serve (or multi-tenant
+// router) /v1/events endpoint. Tenant routing follows the server's
+// precedence: each event's body tenant field wins, the X-UCAD-Tenant
+// header (set from Tenant) covers the rest. Backpressure (503, with
+// Retry-After honored), 429 and transport errors are retried with
+// capped exponential backoff until ctx is done; a replayed batch is
+// safe because the server deduplicates by sequence number. Other 4xx
+// responses mark events the server will never accept and are skipped.
+type HTTPDeliverer struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8844".
+	URL string
+	// Tenant, when non-empty, is sent as the X-UCAD-Tenant header.
+	Tenant string
+	// Client is the HTTP client (nil means a 10s-timeout default).
+	Client  *http.Client
+	Backoff Backoff
+	Metrics *SourceMetrics
+}
+
+// Deliver implements Deliverer.
+func (d *HTTPDeliverer) Deliver(ctx context.Context, events []serve.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	body, err := json.Marshal(events)
+	if err != nil {
+		return fmt.Errorf("feed: encode batch: %w", err)
+	}
+	client := d.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	for attempt := 0; ; attempt++ {
+		retryAfter, err := d.post(ctx, client, body)
+		if err == nil {
+			d.Metrics.delivered(len(events))
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return err
+		}
+		d.Metrics.retried()
+		delay := d.Backoff.delay(attempt)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		if serr := sleep(ctx, delay); serr != nil {
+			return serr
+		}
+	}
+}
+
+// permanentError marks a response retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// post sends one batch and classifies the response. The returned
+// duration is the server's Retry-After hint (zero if none).
+func (d *HTTPDeliverer) post(ctx context.Context, client *http.Client, body []byte) (time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.URL+"/v1/events", bytes.NewReader(body))
+	if err != nil {
+		return 0, &permanentError{fmt.Errorf("feed: build request: %w", err)}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if d.Tenant != "" {
+		req.Header.Set(tenant.TenantHeader, d.Tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("feed: post events: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return 0, nil
+	case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		var after time.Duration
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil {
+				after = time.Duration(secs) * time.Second
+			}
+		}
+		return after, fmt.Errorf("feed: server busy: %s", resp.Status)
+	case resp.StatusCode == http.StatusBadRequest:
+		// Invalid events cannot become valid by retrying. The server
+		// already absorbed the acceptable ones (batched ingestion is
+		// per-event), so treat the batch as done.
+		return 0, nil
+	default:
+		return 0, &permanentError{fmt.Errorf("feed: server rejected batch: %s", resp.Status)}
+	}
+}

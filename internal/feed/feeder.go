@@ -1,0 +1,208 @@
+package feed
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/ucad/ucad/internal/serve"
+	"github.com/ucad/ucad/internal/wal"
+)
+
+// Checkpoint is the feeder's durable resume state: the source position
+// of the last acknowledged batch plus the sessionizer's sequence
+// counters at that point. Both halves commit atomically in one file, so
+// a restart replays the uncommitted suffix with the same sequence
+// numbers it carried before the crash and the serving layer's dedupe
+// absorbs the overlap — exactly-once sessions on top of at-least-once
+// delivery.
+type Checkpoint struct {
+	Pos      Position              `json:"pos"`
+	Sessions map[string]SessionSeq `json:"sessions,omitempty"`
+}
+
+// Position names the committed offset of a file-backed source. Kind
+// guards against pointing an old checkpoint at a different source type.
+type Position struct {
+	Kind string  `json:"kind"` // "file" for tailer sources, "none" otherwise
+	File FilePos `json:"file,omitempty"`
+}
+
+// LoadCheckpoint reads a checkpoint file; a missing file returns the
+// zero checkpoint (fresh start) with ok=false.
+func LoadCheckpoint(path string) (Checkpoint, bool, error) {
+	var cp Checkpoint
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return cp, false, nil
+	}
+	if err != nil {
+		return cp, false, fmt.Errorf("feed: read checkpoint: %w", err)
+	}
+	if err := json.Unmarshal(b, &cp); err != nil {
+		return cp, false, fmt.Errorf("feed: decode checkpoint %s: %w", path, err)
+	}
+	return cp, true, nil
+}
+
+// FeederConfig wires one source to one deliverer.
+type FeederConfig struct {
+	// Source supplies audit operations.
+	Source Source
+	// Deliver hands batches to the serving layer.
+	Deliver Deliverer
+	// Tenant stamps every event (optional; the deliverer may also
+	// route by header).
+	Tenant string
+	// CheckpointPath is where resume state commits after each
+	// acknowledged batch ("" disables checkpointing).
+	CheckpointPath string
+	// BatchSize caps events per delivery (<= 0 means 64).
+	BatchSize int
+	// FlushInterval bounds how long a partial batch waits for more
+	// input before delivering anyway (<= 0 means 200ms).
+	FlushInterval time.Duration
+	// Idle is the sessionization cut-off (<= 0 means 10 minutes). It
+	// should not exceed the server's session idle timeout, and
+	// checkpoint lag must stay inside it for dedupe to hold.
+	Idle time.Duration
+	// Metrics is the per-source instrument view (nil drops metrics).
+	Metrics *SourceMetrics
+
+	// now is a test hook for the sessionizer clock (nil means
+	// time.Now).
+	now func() time.Time
+}
+
+// Feeder pumps a source into the serving layer: read, sessionize,
+// deliver in batches, commit the checkpoint. Run is the whole
+// lifecycle.
+type Feeder struct {
+	cfg  FeederConfig
+	sess *Sessionizer
+}
+
+// NewFeeder validates the wiring.
+func NewFeeder(cfg FeederConfig) (*Feeder, error) {
+	if cfg.Source == nil {
+		return nil, errors.New("feed: feeder needs a source")
+	}
+	if cfg.Deliver == nil {
+		return nil, errors.New("feed: feeder needs a deliverer")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 200 * time.Millisecond
+	}
+	return &Feeder{cfg: cfg, sess: NewSessionizer(cfg.Idle, cfg.now)}, nil
+}
+
+// Run restores the checkpoint, then streams until ctx is cancelled or a
+// finite source reports io.EOF (which flushes the tail and returns
+// nil). On cancellation the in-flight batch is abandoned undelivered —
+// it was never checkpointed, so the next run re-reads it.
+func (f *Feeder) Run(ctx context.Context) error {
+	if err := f.restore(); err != nil {
+		return err
+	}
+	batch := make([]serve.Event, 0, f.cfg.BatchSize)
+	for {
+		// A pending partial batch bounds the wait so slow sources
+		// still see their events delivered within FlushInterval.
+		rctx, cancel := ctx, context.CancelFunc(func() {})
+		if len(batch) > 0 {
+			rctx, cancel = context.WithTimeout(ctx, f.cfg.FlushInterval)
+		}
+		op, err := f.cfg.Source.Next(rctx)
+		cancel()
+		switch {
+		case err == nil:
+			batch = append(batch, f.sess.Event(f.cfg.Tenant, op))
+			if len(batch) < f.cfg.BatchSize {
+				continue
+			}
+		case errors.Is(err, io.EOF):
+			if ferr := f.flush(ctx, batch); ferr != nil {
+				return ferr
+			}
+			return nil
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+			// Flush-interval tick on a partial batch; fall through.
+		default:
+			return err
+		}
+		if len(batch) > 0 {
+			if ferr := f.flush(ctx, batch); ferr != nil {
+				return ferr
+			}
+			batch = batch[:0]
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// restore loads the checkpoint and rewinds the source to it.
+func (f *Feeder) restore() error {
+	if f.cfg.CheckpointPath == "" {
+		return nil
+	}
+	cp, ok, err := LoadCheckpoint(f.cfg.CheckpointPath)
+	if err != nil || !ok {
+		return err
+	}
+	f.sess.Restore(cp.Sessions)
+	if p, isPos := f.cfg.Source.(positioned); isPos && cp.Pos.Kind == "file" {
+		if err := p.SeekTo(cp.Pos.File); err != nil {
+			return fmt.Errorf("feed: seek to checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// flush delivers the batch and, once acknowledged, commits the
+// checkpoint.
+func (f *Feeder) flush(ctx context.Context, batch []serve.Event) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	start := time.Now()
+	if err := f.cfg.Deliver.Deliver(ctx, batch); err != nil {
+		return err
+	}
+	f.cfg.Metrics.observeDelivery(time.Since(start).Seconds())
+	return f.commit()
+}
+
+// commit writes the checkpoint atomically (write-then-rename with
+// fsync) so a crash leaves either the old state or the new one, never a
+// torn file.
+func (f *Feeder) commit() error {
+	f.sess.Sweep()
+	if f.cfg.CheckpointPath == "" {
+		return nil
+	}
+	cp := Checkpoint{Pos: Position{Kind: "none"}, Sessions: f.sess.Export()}
+	if p, isPos := f.cfg.Source.(positioned); isPos {
+		cp.Pos = Position{Kind: "file", File: p.Pos()}
+	}
+	b, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("feed: encode checkpoint: %w", err)
+	}
+	if err := wal.WriteAtomic(f.cfg.CheckpointPath, func(w io.Writer) error {
+		_, werr := w.Write(b)
+		return werr
+	}); err != nil {
+		return fmt.Errorf("feed: commit checkpoint: %w", err)
+	}
+	f.cfg.Metrics.checkpointed()
+	return nil
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package feed
+
+import "os"
+
+// fileIno has no portable equivalent off unix; zero disables
+// inode-based rotation detection and the tailer falls back to the
+// size-shrink heuristic.
+func fileIno(fi os.FileInfo) uint64 { return 0 }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package feed
+
+import (
+	"os"
+	"syscall"
+)
+
+// fileIno returns the file's inode number, the identity that survives a
+// rename-style log rotation. Zero means "unknown" (non-unix stat).
+func fileIno(fi os.FileInfo) uint64 {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return uint64(st.Ino)
+	}
+	return 0
+}

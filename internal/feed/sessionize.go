@@ -1,0 +1,109 @@
+package feed
+
+import (
+	"time"
+
+	"github.com/ucad/ucad/internal/serve"
+	"github.com/ucad/ucad/internal/session"
+)
+
+// Sessionizer turns a stream of audit operations into serve events
+// grouped by (client, connection): each operation is stamped with the
+// session's next 1-based sequence number, and a client idle past the
+// cut-off starts a fresh session (mirroring the serving assembler's
+// idle close-out, so both sides agree on session boundaries).
+//
+// Its counters are part of the feeder's resume state: Export/Restore
+// round-trip them through the checkpoint, so sequence numbers keep
+// counting from the committed prefix after a restart and a replayed
+// operation carries the same Seq it did the first time — the property
+// the serving layer's deduplication relies on.
+type Sessionizer struct {
+	idle  time.Duration
+	now   func() time.Time
+	state map[string]*SessionSeq
+}
+
+// SessionSeq is one client's sessionization state.
+type SessionSeq struct {
+	// Seq is the sequence number of the session's last operation.
+	Seq int64 `json:"seq"`
+	// Last is the timestamp of the session's last operation.
+	Last time.Time `json:"last"`
+}
+
+// NewSessionizer builds a sessionizer with the given idle cut-off
+// (<= 0 means 10 minutes). now supplies the clock used when a record
+// carries no timestamp (nil means time.Now).
+func NewSessionizer(idle time.Duration, now func() time.Time) *Sessionizer {
+	if idle <= 0 {
+		idle = 10 * time.Minute
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Sessionizer{idle: idle, now: now, state: make(map[string]*SessionSeq)}
+}
+
+// clientOf mirrors serve.Event.Client: the connection id when the log
+// records one, else user@addr.
+func clientOf(op session.Operation) string {
+	if op.SessionID != "" {
+		return op.SessionID
+	}
+	return op.User + "@" + op.Addr
+}
+
+// Event stamps one operation into a serve event addressed to tenant.
+func (z *Sessionizer) Event(tenant string, op session.Operation) serve.Event {
+	ts := op.Time
+	if ts.IsZero() {
+		ts = z.now()
+	}
+	client := clientOf(op)
+	st := z.state[client]
+	if st == nil || ts.Sub(st.Last) > z.idle {
+		st = &SessionSeq{}
+		z.state[client] = st
+	}
+	st.Seq++
+	st.Last = ts
+	return serve.Event{
+		Tenant:   tenant,
+		ClientID: client,
+		User:     op.User,
+		Addr:     op.Addr,
+		SQL:      op.SQL,
+		Time:     op.Time,
+		Seq:      st.Seq,
+	}
+}
+
+// Sweep drops state for clients idle past the cut-off (memory bound);
+// their next operation starts a new session, as it would server-side.
+func (z *Sessionizer) Sweep() {
+	cutoff := z.now().Add(-z.idle)
+	for client, st := range z.state {
+		if st.Last.Before(cutoff) {
+			delete(z.state, client)
+		}
+	}
+}
+
+// Export snapshots the sequence counters for the checkpoint.
+func (z *Sessionizer) Export() map[string]SessionSeq {
+	out := make(map[string]SessionSeq, len(z.state))
+	for client, st := range z.state {
+		out[client] = *st
+	}
+	return out
+}
+
+// Restore installs checkpointed sequence counters (before streaming
+// starts).
+func (z *Sessionizer) Restore(m map[string]SessionSeq) {
+	for client, st := range m {
+		cp := st
+		z.state[client] = &cp
+	}
+}

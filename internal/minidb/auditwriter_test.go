@@ -1,0 +1,109 @@
+package minidb
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ucad/ucad/internal/session"
+	"github.com/ucad/ucad/internal/wal"
+)
+
+func TestAuditWriterRoundTripsThroughReadLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	aw, err := NewAuditWriter(path, wal.SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db := NewDB()
+	base := time.Date(2026, 8, 7, 9, 0, 0, 0, time.UTC)
+	i := 0
+	db.Now = func() time.Time { i++; return base.Add(time.Duration(i) * time.Second) }
+	db.SetAuditSink(aw)
+
+	c := db.Connect("app", "10.0.0.1", "conn-1")
+	stmts := []string{
+		"CREATE TABLE t (id, name)",
+		"INSERT INTO t (id, name) VALUES (1, 'a')",
+		"SELECT * FROM t WHERE id = 1",
+	}
+	for _, s := range stmts {
+		if _, err := c.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	// A failed statement must reach neither audit trail.
+	if _, err := c.Exec("SELECT * FROM missing"); err == nil {
+		t.Fatal("expected error for missing table")
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ops, err := session.ReadLog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := db.AuditLog()
+	if len(ops) != len(stmts) || len(mem) != len(stmts) {
+		t.Fatalf("durable %d / memory %d records, want %d", len(ops), len(mem), len(stmts))
+	}
+	for j := range ops {
+		ops[j].Key, mem[j].Key = 0, 0
+		if !reflect.DeepEqual(ops[j], mem[j]) {
+			t.Fatalf("record %d diverged: durable %+v, memory %+v", j, ops[j], mem[j])
+		}
+	}
+	if ops[0].SQL != stmts[0] || ops[0].SessionID != "conn-1" || ops[0].User != "app" {
+		t.Fatalf("bad first record: %+v", ops[0])
+	}
+}
+
+func TestAuditWriterSyncIntervalFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	aw, err := NewAuditWriter(path, wal.SyncInterval, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aw.Close()
+	if err := aw.Append(session.Operation{User: "u", SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(b), "SELECT 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval sync never flushed the record")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestAuditWriterAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	aw, err := NewAuditWriter(path, wal.SyncNever, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Append(session.Operation{SQL: "x"}); err == nil {
+		t.Fatal("append after close must fail")
+	}
+}

@@ -33,12 +33,21 @@ type Result struct {
 	Affected int
 }
 
+// AuditSink receives every executed operation as it is recorded — the
+// durable half of the audit trail (see AuditWriter). Append is called
+// under the database lock, so implementations must not call back into
+// the DB.
+type AuditSink interface {
+	Append(session.Operation) error
+}
+
 // DB is an in-memory database emitting an audit log of every executed
 // statement. It is safe for concurrent use.
 type DB struct {
 	mu     sync.Mutex
 	tables map[string]*Table
 	audit  []session.Operation
+	sink   AuditSink
 	// Now supplies timestamps for the audit log; defaults to time.Now.
 	// Tests and workload generators inject deterministic clocks.
 	Now func() time.Time
@@ -78,13 +87,22 @@ func (c *Conn) Exec(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.db.audit = append(c.db.audit, session.Operation{
+	op := session.Operation{
 		Time:      c.db.Now(),
 		User:      c.user,
 		Addr:      c.addr,
 		SessionID: c.sessionID,
 		SQL:       sql,
-	})
+	}
+	c.db.audit = append(c.db.audit, op)
+	if c.db.sink != nil {
+		// The statement executed either way; a sink failure surfaces as
+		// an error alongside the result so callers know the durable
+		// trail is incomplete.
+		if serr := c.db.sink.Append(op); serr != nil {
+			return res, serr
+		}
+	}
 	return res, nil
 }
 
@@ -93,6 +111,15 @@ func (db *DB) AuditLog() []session.Operation {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return append([]session.Operation(nil), db.audit...)
+}
+
+// SetAuditSink attaches (or, with nil, detaches) a durable audit sink;
+// every subsequently executed statement is appended to it in execution
+// order, in addition to the in-memory log.
+func (db *DB) SetAuditSink(s AuditSink) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.sink = s
 }
 
 // ResetAudit clears the audit log (e.g. after a training snapshot).

@@ -58,11 +58,24 @@ type Appended struct {
 	// assembler clock when the event carried none) — what the WAL record
 	// persists so recovery rebuilds the operation byte-exactly.
 	Time time.Time
+	// Dup reports that the event carried a sequence number (Event.Seq)
+	// the open session already covers: nothing was appended, and the
+	// caller should acknowledge without scoring or logging. SessionID
+	// still identifies the session that absorbed the original delivery.
+	Dup bool
 }
 
 // Append absorbs one event whose statement was already tokenized to
 // key. window bounds the length of the returned key snapshot (0 means
 // the whole session).
+//
+// An event with a positive Seq is deduplicated against the client's
+// open session: if the session already holds Seq or more operations the
+// event is a redelivery and Append returns Dup without mutating state.
+// Dedup cannot reach across a close-out — once a session leaves the
+// assembler, a late redelivery of its statements opens a fresh session
+// — so feeders must keep their checkpoint lag well inside the idle
+// timeout.
 func (a *Assembler) Append(ev Event, key, window int) Appended {
 	now := a.now()
 	ts := ev.Time
@@ -74,6 +87,10 @@ func (a *Assembler) Append(ev Event, key, window int) Appended {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	os := a.open[client]
+	if os != nil && ev.Seq > 0 && int64(len(os.keys)) >= ev.Seq {
+		os.lastSeen = now // the client is clearly alive; keep the session open
+		return Appended{SessionID: os.sess.ID, Pos: int(ev.Seq) - 1, Dup: true}
+	}
 	if os == nil {
 		a.seq++
 		a.opened++

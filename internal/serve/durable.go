@@ -197,6 +197,12 @@ func (s *Service) ingestDurable(store *wal.Store, ev Event, key int) (Appended, 
 	client := ev.Client()
 	s.durMu.Lock()
 	ap := s.asm.Append(ev, key, s.window+1)
+	if ap.Dup {
+		// A redelivery mutated nothing, so there is nothing to log: the
+		// original append's WAL record already covers this position.
+		s.durMu.Unlock()
+		return ap, nil
+	}
 	err := s.appendWAL(store, walRecord{
 		T: recEvent, Client: client, SID: ap.SessionID, Pos: ap.Pos,
 		User: ev.User, Addr: ev.Addr, SQL: ev.SQL, TS: ap.Time,

@@ -122,6 +122,8 @@ func NewMetricsHub(reg *obs.Registry) *MetricsHub {
 	cfv("ucad_alerts_evicted_total", "Resolved alerts evicted by the retention bound (max count or TTL).")
 	cfv("ucad_retrains_total", "Background fine-tune rounds completed.")
 	cfv("ucad_checkpoint_errors_total", "Model checkpoints that failed to write or validate (rolled back).")
+	cfv("ucad_feed_unknown_keys_total", "Ingested statements whose template is absent from the trained vocabulary (mapped to the reserved UNK key and always flagged).")
+	cfv("ucad_feed_duplicate_events_total", "Redelivered events acknowledged without re-scoring (sequence number already covered by the open session).")
 	gfv("ucad_sessions_open", "Currently open sessions.")
 	gfv("ucad_alerts_open", "Alerts awaiting an expert verdict.")
 	gfv("ucad_verified_pool", "Verified-normal sessions awaiting the next fine-tune round.")
@@ -294,6 +296,8 @@ func (m *Metrics) bind(s *Service) {
 	cf("ucad_alerts_evicted_total", s.alerts.evictedCount)
 	cf("ucad_retrains_total", s.retrains.Load)
 	cf("ucad_checkpoint_errors_total", s.ckptErrors.Load)
+	cf("ucad_feed_unknown_keys_total", s.unknownKeys.Load)
+	cf("ucad_feed_duplicate_events_total", s.dupEvents.Load)
 	gf("ucad_sessions_open", func() float64 { return float64(s.asm.OpenCount()) })
 	gf("ucad_alerts_open", func() float64 { return float64(s.alerts.openCount()) })
 	gf("ucad_verified_pool",

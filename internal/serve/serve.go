@@ -38,6 +38,14 @@ type Event struct {
 	SQL string `json:"sql"`
 	// Time is the statement execution timestamp; zero means "now".
 	Time time.Time `json:"ts,omitempty"`
+	// Seq, when positive, is the 1-based position of this statement
+	// within its session as assigned by the sender. It makes redelivery
+	// safe: an event whose position the open session already holds is
+	// acknowledged without being appended or scored again, so an
+	// at-least-once feeder (internal/feed replaying from an offset
+	// checkpoint after a crash) yields exactly-once sessions. Zero means
+	// "no sequence" and disables deduplication for the event.
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // Client returns the assembly key for the event.

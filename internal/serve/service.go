@@ -9,6 +9,7 @@ import (
 	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/detect"
 	"github.com/ucad/ucad/internal/obs"
+	"github.com/ucad/ucad/internal/sqlnorm"
 	"github.com/ucad/ucad/internal/wal"
 )
 
@@ -84,11 +85,13 @@ type Service struct {
 	minContext int
 	topP       int
 
-	accepted  atomic.Int64
-	rejected  atomic.Int64
-	midFlags  atomic.Int64
-	lateFlags atomic.Int64
-	retrains  atomic.Int64
+	accepted    atomic.Int64
+	rejected    atomic.Int64
+	midFlags    atomic.Int64
+	lateFlags   atomic.Int64
+	retrains    atomic.Int64
+	unknownKeys atomic.Int64
+	dupEvents   atomic.Int64
 
 	stopped    atomic.Bool
 	retraining atomic.Bool
@@ -271,6 +274,14 @@ func (s *Service) stopBackground() {
 // With durability enabled the event is WAL-logged (durable per the
 // fsync policy) before Ingest returns nil — the write-ahead contract:
 // nothing is acknowledged that a crash could forget.
+//
+// A statement whose template is absent from the trained vocabulary maps
+// to the reserved UNK key (sqlnorm.UnknownKey): it is still assembled
+// and scored — the model ranks UNK last, so such operations always flag
+// — and counted in ucad_feed_unknown_keys_total rather than rejected.
+// An event whose Seq the open session already covers is a redelivery:
+// it is acknowledged without re-appending, re-logging or re-scoring
+// (counted in ucad_feed_duplicate_events_total).
 func (s *Service) Ingest(ev Event) error {
 	if s.stopped.Load() {
 		return ErrStopped
@@ -285,6 +296,9 @@ func (s *Service) Ingest(ev Event) error {
 	t := obs.StartTimer(s.metrics.ingestSeconds)
 	defer t.Stop()
 	key := s.ucad.Vocab.Key(ev.SQL)
+	if key == sqlnorm.UnknownKey {
+		s.unknownKeys.Add(1)
+	}
 	var ap Appended
 	if store != nil {
 		var err error
@@ -294,6 +308,10 @@ func (s *Service) Ingest(ev Event) error {
 		}
 	} else {
 		ap = s.asm.Append(ev, key, s.window+1)
+	}
+	if ap.Dup {
+		s.dupEvents.Add(1)
+		return nil
 	}
 	if ap.Pos >= s.minContext {
 		job := Job{
@@ -438,6 +456,8 @@ type Stats struct {
 	QueueDepth        int     `json:"queue_depth"`
 	Workers           int     `json:"workers"`
 	RecoveredSessions int64   `json:"recovered_sessions"`
+	UnknownKeys       int64   `json:"unknown_keys"`
+	DuplicateEvents   int64   `json:"duplicate_events"`
 }
 
 // Stats snapshots the serving counters.
@@ -464,5 +484,7 @@ func (s *Service) Stats() Stats {
 		QueueDepth:        s.engine.QueueDepth(),
 		Workers:           s.cfg.Workers,
 		RecoveredSessions: s.recovered.Load(),
+		UnknownKeys:       s.unknownKeys.Load(),
+		DuplicateEvents:   s.dupEvents.Load(),
 	}
 }

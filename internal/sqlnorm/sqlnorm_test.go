@@ -44,6 +44,94 @@ func TestAbstractLiterals(t *testing.T) {
 	}
 }
 
+func TestAbstractDynamicInListCollapse(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"single", "SELECT * FROM t WHERE x IN (1)", "SELECT * FROM t WHERE x IN (...)"},
+		{"many", "SELECT * FROM t WHERE x IN (1, 2, 3, 4, 5)", "SELECT * FROM t WHERE x IN (...)"},
+		{"strings", "SELECT * FROM t WHERE x IN ('a', 'b')", "SELECT * FROM t WHERE x IN (...)"},
+		{"mixed", "SELECT * FROM t WHERE x IN (1, 'a', 2.5)", "SELECT * FROM t WHERE x IN (...)"},
+		{"placeholders", "SELECT * FROM t WHERE x IN (?, ?, $3)", "SELECT * FROM t WHERE x IN (...)"},
+		{"not in", "DELETE FROM t WHERE x NOT IN (1, 2)", "DELETE FROM t WHERE x NOT IN (...)"},
+		{"lowercase", "select * from t where x in (7, 8)", "SELECT * FROM t WHERE x IN (...)"},
+		{"tail literal renumbers", "SELECT * FROM t WHERE x IN (1, 2) AND y = 9", "SELECT * FROM t WHERE x IN (...) AND y = $1"},
+		{"subquery untouched", "SELECT * FROM t WHERE x IN (SELECT id FROM u)", "SELECT * FROM t WHERE x IN (SELECT id FROM u)"},
+		{"column list untouched", "SELECT * FROM t WHERE x IN (a, b)", "SELECT * FROM t WHERE x IN (a, b)"},
+		{"empty untouched", "SELECT * FROM t WHERE x IN ()", "SELECT * FROM t WHERE x IN ()"},
+		{"unclosed untouched", "SELECT * FROM t WHERE x IN (1, 2", "SELECT * FROM t WHERE x IN ($1, $2"},
+		{"in as column name", "SELECT in FROM t", "SELECT IN FROM t"},
+	}
+	for _, tc := range cases {
+		if got := AbstractDynamic(tc.in); got != tc.want {
+			t.Errorf("%s: AbstractDynamic(%q) = %q, want %q", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+// Dynamic abstraction must stay idempotent: the "(...)" marker re-lexes
+// to plain symbols, so re-abstracting a collapsed template is a no-op.
+func TestAbstractDynamicIdempotent(t *testing.T) {
+	stmts := []string{
+		"SELECT * FROM t WHERE x IN (1, 2, 3) AND y = 4",
+		"DELETE FROM t WHERE x NOT IN ('a', 'b')",
+		"SELECT * FROM t WHERE x IN (SELECT id FROM u WHERE v = 1)",
+	}
+	for _, s := range stmts {
+		once := AbstractDynamic(s)
+		twice := AbstractDynamic(once)
+		if once != twice {
+			t.Errorf("not idempotent: %q -> %q", once, twice)
+		}
+	}
+}
+
+// The ADALog-style dynamic-template property: list length and literal
+// kind never split templates, so every variant keys identically.
+func TestAbstractInListVariantsShareTemplate(t *testing.T) {
+	variants := []string{
+		"SELECT * FROM t WHERE x IN (1)",
+		"SELECT * FROM t WHERE x IN (1, 2, 3)",
+		"SELECT * FROM t WHERE x IN (1, 2, 3, 4, 5, 6, 7, 8)",
+		"SELECT * FROM t WHERE x IN ('a', 'bb', 'ccc')",
+		"SELECT * FROM t WHERE x IN (1, 'mixed', 2.71)",
+		"select * from t where x in (?, ?)",
+	}
+	base := AbstractDynamic(variants[0])
+	for _, v := range variants[1:] {
+		if got := AbstractDynamic(v); got != base {
+			t.Errorf("AbstractDynamic(%q) = %q, want shared template %q", v, got, base)
+		}
+	}
+	v := NewDynamicVocabulary()
+	k := v.Learn(variants[0])
+	for _, s := range variants[1:] {
+		if got := v.Key(s); got != k {
+			t.Errorf("Key(%q) = %d, want %d", s, got, k)
+		}
+	}
+}
+
+// Numeric and quoted literal variants of the same statement shape must
+// share one template key.
+func TestAbstractNumericVsQuotedShareTemplate(t *testing.T) {
+	pairs := [][2]string{
+		{"SELECT * FROM t WHERE a = 1", "SELECT * FROM t WHERE a = 'one'"},
+		{"UPDATE t SET c = 3.14 WHERE k = 9", `UPDATE t SET c = "pi" WHERE k = 'nine'`},
+	}
+	for _, p := range pairs {
+		if a, b := Abstract(p[0]), Abstract(p[1]); a != b {
+			t.Errorf("Abstract(%q) = %q but Abstract(%q) = %q; want identical", p[0], a, p[1], b)
+		}
+	}
+	// Under dynamic templates even different-length IN lists unify.
+	a := AbstractDynamic("DELETE FROM t WHERE x IN (1, 2)")
+	b := AbstractDynamic("DELETE FROM t WHERE x IN ('a', 'b', 'c')")
+	if a != b {
+		t.Errorf("dynamic templates differ: %q vs %q", a, b)
+	}
+}
+
 func TestAbstractWhitespaceInvariance(t *testing.T) {
 	a := Abstract("SELECT  *\n FROM\tt WHERE a=1")
 	b := Abstract("SELECT * FROM t WHERE a=2")
@@ -60,6 +148,7 @@ func TestAbstractIdempotent(t *testing.T) {
 		"INSERT INTO danmu_display(vid, uid, text) VALUES (1, 2, 'hello')",
 		"UPDATE t_cell_fp_9 SET fps=3 WHERE pnci=77",
 		"DELETE FROM loc_rm WHERE dev='d' AND ts<100",
+		"SELECT * FROM t WHERE x IN (1, 2, 3) AND y = 4",
 	}
 	for _, s := range stmts {
 		once := Abstract(s)
@@ -174,6 +263,32 @@ func TestVocabularySaveLoad(t *testing.T) {
 	}
 	if k := loaded.Key("SELECT * FROM a WHERE x=42"); k != 1 {
 		t.Fatalf("loaded key = %d, want 1", k)
+	}
+}
+
+func TestDynamicVocabularySaveLoadKeepsMode(t *testing.T) {
+	v := NewDynamicVocabulary()
+	if !v.Dynamic() {
+		t.Fatal("NewDynamicVocabulary not dynamic")
+	}
+	k := v.Learn("SELECT * FROM t WHERE x IN (1, 2, 3)")
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadVocabulary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Dynamic() {
+		t.Fatal("dynamic mode lost in round-trip")
+	}
+	if got := loaded.Key("SELECT * FROM t WHERE x IN (9, 8, 7, 6)"); got != k {
+		t.Fatalf("loaded key = %d, want %d (IN lengths must unify)", got, k)
+	}
+	classic := NewVocabulary()
+	if classic.Dynamic() {
+		t.Fatal("classic vocabulary reports dynamic")
 	}
 }
 

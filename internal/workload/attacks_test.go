@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/ucad/ucad/internal/sqlnorm"
+)
+
+func TestExfiltrateSlowIsLowAndSlow(t *testing.T) {
+	g := NewGenerator(ScenarioI(), 11)
+	sessions := g.GenerateSessions(20)
+	campaign := map[string]bool{}
+	for _, s := range sessions {
+		a := g.ExfiltrateSlow(s)
+		extra := len(a.Ops) - len(s.Ops)
+		if extra < 1 || extra > 2 {
+			t.Fatalf("A4 injected %d ops, want 1-2 (low and slow)", extra)
+		}
+		// The injected statements are the ones not in the original
+		// multiset; they must all share one campaign template.
+		orig := map[string]int{}
+		for _, op := range s.Ops {
+			orig[op.SQL]++
+		}
+		for _, op := range a.Ops {
+			if orig[op.SQL] > 0 {
+				orig[op.SQL]--
+				continue
+			}
+			campaign[sqlnorm.Abstract(op.SQL)] = true
+		}
+	}
+	if len(campaign) != 1 {
+		t.Fatalf("A4 campaign used %d distinct templates, want exactly 1: %v", len(campaign), campaign)
+	}
+}
+
+func TestEscalatePrivilegeIsPureReordering(t *testing.T) {
+	g := NewGenerator(ScenarioI(), 12)
+	reordered := 0
+	for _, s := range g.GenerateSessions(20) {
+		a := g.EscalatePrivilege(s)
+		if len(a.Ops) != len(s.Ops) {
+			t.Fatalf("A5 changed session length %d -> %d; must only reorder", len(s.Ops), len(a.Ops))
+		}
+		want := make([]string, len(s.Ops))
+		got := make([]string, len(a.Ops))
+		same := true
+		for i := range s.Ops {
+			want[i] = s.Ops[i].SQL
+			got[i] = a.Ops[i].SQL
+			if want[i] != got[i] {
+				same = false
+			}
+		}
+		if !same {
+			reordered++
+		}
+		sort.Strings(want)
+		sort.Strings(got)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("A5 changed the statement multiset at %d: %q vs %q", i, want[i], got[i])
+			}
+		}
+	}
+	if reordered == 0 {
+		t.Fatal("A5 never reordered anything")
+	}
+}
+
+func TestMassDeleteInjectsBurst(t *testing.T) {
+	g := NewGenerator(ScenarioI(), 13)
+	for _, s := range g.GenerateSessions(10) {
+		a := g.MassDelete(s)
+		extra := len(a.Ops) - len(s.Ops)
+		if extra < 6 || extra > 10 {
+			t.Fatalf("A6 burst size %d, want 6-10", extra)
+		}
+		// Find the longest run of consecutive deletes.
+		run, best := 0, 0
+		for _, op := range a.Ops {
+			if strings.HasPrefix(strings.ToUpper(op.SQL), "DELETE") {
+				run++
+				if run > best {
+					best = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		if best < 6 {
+			t.Fatalf("A6 longest delete run = %d, want >= 6", best)
+		}
+	}
+}
+
+func TestExtendAttacksPreservesBaseSuite(t *testing.T) {
+	base := NewGenerator(ScenarioI(), 7).BuildSuite(20)
+	g := NewGenerator(ScenarioI(), 7)
+	suite := g.BuildSuite(20)
+	g.ExtendAttacks(suite)
+
+	for _, fam := range []string{"A4", "A5", "A6"} {
+		if len(suite.Abnormal[fam]) != len(suite.Normal["V1"]) {
+			t.Fatalf("%s has %d sessions, want %d (one per V1 session)",
+				fam, len(suite.Abnormal[fam]), len(suite.Normal["V1"]))
+		}
+	}
+	// The pre-existing sets are byte-identical to an unextended build.
+	for fam, want := range base.Abnormal {
+		got := suite.Abnormal[fam]
+		if len(got) != len(want) {
+			t.Fatalf("%s resized by ExtendAttacks", fam)
+		}
+		for i := range want {
+			if len(want[i].Ops) != len(got[i].Ops) {
+				t.Fatalf("%s[%d] changed by ExtendAttacks", fam, i)
+			}
+			for j := range want[i].Ops {
+				if want[i].Ops[j].SQL != got[i].Ops[j].SQL {
+					t.Fatalf("%s[%d].Ops[%d] changed by ExtendAttacks", fam, i, j)
+				}
+			}
+		}
+	}
+}

@@ -98,6 +98,9 @@ type Generator struct {
 	rng  *rand.Rand
 	base time.Time
 	seq  int
+	// a4pick is the A4 exfiltration campaign's fixed target template
+	// (chosen lazily on the first ExfiltrateSlow call).
+	a4pick StmtGen
 }
 
 // NewGenerator returns a deterministic generator for the spec.
