@@ -23,6 +23,13 @@ type DBSource struct {
 	ch   chan session.Operation
 	mu   sync.Mutex
 	done chan struct{}
+	// closed (under mu) rejects new Appends once Close has begun, and wg
+	// tracks Appends already past that gate: the consumer waits out both
+	// before concluding the buffer is final, so an Append that deposited
+	// its operation concurrently with Close is always drained — never
+	// acknowledged to the audit path and then dropped.
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // NewDBSource builds a source with the given buffer depth (<= 0 means
@@ -39,11 +46,14 @@ var ErrSourceClosed = errors.New("feed: source closed")
 
 // Append implements minidb.AuditSink.
 func (s *DBSource) Append(op session.Operation) error {
-	select {
-	case <-s.done:
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return ErrSourceClosed
-	default:
 	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
 	select {
 	case s.ch <- op:
 		return nil
@@ -64,7 +74,10 @@ func (s *DBSource) Next(ctx context.Context) (session.Operation, error) {
 	case op := <-s.ch:
 		return op, nil
 	case <-s.done:
-		// Closed mid-wait; the buffer may still have a tail.
+		// Closed mid-wait. Appends that passed the closed-flag gate may
+		// still be depositing into the buffer; wait them out (no new ones
+		// can start) so an acknowledged operation is never left behind.
+		s.wg.Wait()
 		select {
 		case op := <-s.ch:
 			return op, nil
@@ -80,9 +93,8 @@ func (s *DBSource) Next(ctx context.Context) (session.Operation, error) {
 func (s *DBSource) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	select {
-	case <-s.done:
-	default:
+	if !s.closed {
+		s.closed = true
 		close(s.done)
 	}
 	return nil

@@ -82,6 +82,7 @@ func (d *ServiceDeliverer) Deliver(ctx context.Context, events []serve.Event) er
 			case errors.Is(err, serve.ErrInvalid):
 				// The server can never accept it; dropping beats wedging
 				// the stream.
+				d.Metrics.dropped(1)
 			case errors.Is(err, serve.ErrBusy):
 				d.Metrics.retried()
 				if serr := sleep(ctx, d.Backoff.delay(attempt)); serr != nil {
@@ -101,10 +102,18 @@ func (d *ServiceDeliverer) Deliver(ctx context.Context, events []serve.Event) er
 // router) /v1/events endpoint. Tenant routing follows the server's
 // precedence: each event's body tenant field wins, the X-UCAD-Tenant
 // header (set from Tenant) covers the rest. Backpressure (503, with
-// Retry-After honored), 429 and transport errors are retried with
-// capped exponential backoff until ctx is done; a replayed batch is
-// safe because the server deduplicates by sequence number. Other 4xx
-// responses mark events the server will never accept and are skipped.
+// Retry-After honored), 429, 502/504 and transport errors are retried
+// with capped exponential backoff until ctx is done; a replayed batch
+// is safe because the server deduplicates by sequence number. Other
+// 5xx statuses (501, 505, ... — usually a misconfigured endpoint, not
+// load) are retried a bounded number of times before failing. A 400 is
+// trusted only when its body carries per-event statuses — then the
+// rejected events are permanently invalid and skipped (counted in the
+// dropped metric) while the accepted ones are done; a 400 without
+// statuses means the body itself was refused (e.g. over the server's
+// request cap) and nothing was absorbed, so it is a hard failure
+// rather than silent loss. Batches whose JSON encoding would exceed
+// the server's request cap are split before posting.
 type HTTPDeliverer struct {
 	// URL is the server base, e.g. "http://127.0.0.1:8844".
 	URL string
@@ -116,23 +125,56 @@ type HTTPDeliverer struct {
 	Metrics *SourceMetrics
 }
 
+// maxBatchBytes bounds one marshalled POST body. The server rejects
+// request bodies over 8 MiB outright (serve.DecodeEvents), and that
+// rejection is a decode-level 400 where nothing was absorbed — so the
+// deliverer splits batches well below the cap instead of finding out.
+const maxBatchBytes = 6 << 20
+
+// maxCapped5xxAttempts bounds retries of 5xx statuses other than
+// 502/503/504: a 501 or 505 is a misconfigured endpoint, not load, and
+// retrying it forever would wedge the feeder instead of surfacing the
+// configuration error.
+const maxCapped5xxAttempts = 6
+
 // Deliver implements Deliverer.
 func (d *HTTPDeliverer) Deliver(ctx context.Context, events []serve.Event) error {
 	if len(events) == 0 {
 		return nil
 	}
-	body, err := json.Marshal(events)
-	if err != nil {
-		return fmt.Errorf("feed: encode batch: %w", err)
-	}
 	client := d.Client
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
+	return d.deliver(ctx, client, events)
+}
+
+// deliver posts one batch, splitting it when its encoding would exceed
+// the server's request cap.
+func (d *HTTPDeliverer) deliver(ctx context.Context, client *http.Client, events []serve.Event) error {
+	body, err := json.Marshal(events)
+	if err != nil {
+		return fmt.Errorf("feed: encode batch: %w", err)
+	}
+	if len(body) > maxBatchBytes {
+		if len(events) == 1 {
+			// A single event the server's request cap can never admit:
+			// dropping beats wedging the stream, same as an invalid event.
+			d.Metrics.dropped(1)
+			return nil
+		}
+		mid := len(events) / 2
+		if err := d.deliver(ctx, client, events[:mid]); err != nil {
+			return err
+		}
+		return d.deliver(ctx, client, events[mid:])
+	}
+	capped := 0
 	for attempt := 0; ; attempt++ {
-		retryAfter, err := d.post(ctx, client, body)
+		res, err := d.post(ctx, client, body, len(events))
 		if err == nil {
-			d.Metrics.delivered(len(events))
+			d.Metrics.delivered(res.accepted)
+			d.Metrics.dropped(res.rejected)
 			return nil
 		}
 		if ctx.Err() != nil {
@@ -142,10 +184,15 @@ func (d *HTTPDeliverer) Deliver(ctx context.Context, events []serve.Event) error
 		if errors.As(err, &perm) {
 			return err
 		}
+		if res.cappedRetry {
+			if capped++; capped >= maxCapped5xxAttempts {
+				return &permanentError{fmt.Errorf("feed: giving up after %d attempts: %w", capped, err)}
+			}
+		}
 		d.Metrics.retried()
 		delay := d.Backoff.delay(attempt)
-		if retryAfter > delay {
-			delay = retryAfter
+		if res.retryAfter > delay {
+			delay = res.retryAfter
 		}
 		if serr := sleep(ctx, delay); serr != nil {
 			return serr
@@ -159,12 +206,32 @@ type permanentError struct{ err error }
 func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
 
-// post sends one batch and classifies the response. The returned
-// duration is the server's Retry-After hint (zero if none).
-func (d *HTTPDeliverer) post(ctx context.Context, client *http.Client, body []byte) (time.Duration, error) {
+// eventsResponse mirrors the /v1/events response shape shared by
+// internal/serve's handler and internal/tenant's router.
+type eventsResponse struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+	Events   []struct {
+		Status string `json:"status"`
+		Error  string `json:"error,omitempty"`
+	} `json:"events,omitempty"`
+}
+
+// postResult classifies one POST attempt: how many events the server
+// acknowledged or permanently refused, plus retry hints on failure.
+type postResult struct {
+	accepted    int
+	rejected    int
+	retryAfter  time.Duration
+	cappedRetry bool // retryable, but only a bounded number of times
+}
+
+// post sends one batch of n events and classifies the response.
+func (d *HTTPDeliverer) post(ctx context.Context, client *http.Client, body []byte, n int) (postResult, error) {
+	var res postResult
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.URL+"/v1/events", bytes.NewReader(body))
 	if err != nil {
-		return 0, &permanentError{fmt.Errorf("feed: build request: %w", err)}
+		return res, &permanentError{fmt.Errorf("feed: build request: %w", err)}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if d.Tenant != "" {
@@ -172,29 +239,53 @@ func (d *HTTPDeliverer) post(ctx context.Context, client *http.Client, body []by
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, fmt.Errorf("feed: post events: %w", err)
+		return res, fmt.Errorf("feed: post events: %w", err)
 	}
-	defer func() {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}()
+	rbody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	var er eventsResponse
+	parsed := json.Unmarshal(rbody, &er) == nil
+
 	switch {
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
-		return 0, nil
-	case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
-		var after time.Duration
+		// A 2xx batch code means no event was rejected, but trust the
+		// per-event statuses when present (a lenient proxy could differ).
+		res.accepted = n
+		if parsed && len(er.Events) > 0 {
+			res.accepted = er.Accepted
+			res.rejected = n - er.Accepted
+		}
+		return res, nil
+	case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusGatewayTimeout:
 		if s := resp.Header.Get("Retry-After"); s != "" {
 			if secs, err := strconv.Atoi(s); err == nil {
-				after = time.Duration(secs) * time.Second
+				res.retryAfter = time.Duration(secs) * time.Second
 			}
 		}
-		return after, fmt.Errorf("feed: server busy: %s", resp.Status)
+		return res, fmt.Errorf("feed: server busy: %s", resp.Status)
+	case resp.StatusCode >= 500:
+		res.cappedRetry = true
+		return res, fmt.Errorf("feed: server error: %s", resp.Status)
 	case resp.StatusCode == http.StatusBadRequest:
-		// Invalid events cannot become valid by retrying. The server
-		// already absorbed the acceptable ones (batched ingestion is
-		// per-event), so treat the batch as done.
-		return 0, nil
+		if parsed && len(er.Events) > 0 {
+			// Per-event statuses: the server attempted every event, and a
+			// 400 batch code means none of the rejections are retryable
+			// (backpressure would have outranked them to a 503) — the
+			// rejected events can never become valid, so skip them.
+			res.accepted = er.Accepted
+			res.rejected = n - er.Accepted
+			return res, nil
+		}
+		// Decode-level 400 (oversized body, proxy rejection, ...): the
+		// server absorbed nothing, so "done" would be silent loss.
+		reason := er.Error
+		if reason == "" {
+			reason = string(rbody)
+		}
+		return res, &permanentError{fmt.Errorf("feed: server rejected request body: %s: %.200s", resp.Status, reason)}
 	default:
-		return 0, &permanentError{fmt.Errorf("feed: server rejected batch: %s", resp.Status)}
+		return res, &permanentError{fmt.Errorf("feed: server rejected batch: %s", resp.Status)}
 	}
 }

@@ -1,0 +1,158 @@
+package feed
+
+// Tests for the HTTP deliverer's response classification: a 400 is only
+// "done" when the body proves per-event handling, oversized batches are
+// split below the server's request cap, and non-transient 5xx statuses
+// cannot wedge the feeder forever.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ucad/ucad/internal/serve"
+)
+
+func fastBackoff() Backoff { return Backoff{Min: time.Millisecond, Max: 2 * time.Millisecond} }
+
+func smallEvents(n int) []serve.Event {
+	evs := make([]serve.Event, n)
+	for i := range evs {
+		evs[i] = serve.Event{ClientID: "c", User: "u", SQL: "SELECT 1", Seq: int64(i + 1), Epoch: 1}
+	}
+	return evs
+}
+
+// TestHTTPDelivererDecodeLevel400Fails: a 400 without per-event
+// statuses means the server absorbed nothing (body over the request
+// cap, proxy rejection); treating it as done would commit the
+// checkpoint past data the server never saw.
+func TestHTTPDelivererDecodeLevel400Fails(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "invalid JSON body"})
+	}))
+	defer srv.Close()
+
+	d := &HTTPDeliverer{URL: srv.URL, Backoff: fastBackoff()}
+	if err := d.Deliver(context.Background(), smallEvents(2)); err == nil {
+		t.Fatal("decode-level 400 reported as delivered")
+	}
+}
+
+// TestHTTPDelivererPerEvent400SkipsRejected: a 400 whose body carries
+// per-event statuses means the server attempted every event; the
+// rejected ones are permanently invalid and skipped, and only the
+// accepted ones count as delivered.
+func TestHTTPDelivererPerEvent400SkipsRejected(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"accepted":1,"events":[{"status":"accepted"},{"status":"rejected","error":"serve: event missing sql"}]}`))
+	}))
+	defer srv.Close()
+
+	sm := NewMetrics(nil).Source("t")
+	d := &HTTPDeliverer{URL: srv.URL, Backoff: fastBackoff(), Metrics: sm}
+	if err := d.Deliver(context.Background(), smallEvents(2)); err != nil {
+		t.Fatalf("per-event 400 should be done: %v", err)
+	}
+	if got := sm.deliveredEvents.Value(); got != 1 {
+		t.Fatalf("delivered = %d, want 1 (only the accepted event)", got)
+	}
+	if got := sm.droppedEvents.Value(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+}
+
+// TestHTTPDelivererSplitsOversizedBatch: batches whose encoding would
+// blow the server's 8 MiB request cap are split before posting instead
+// of collecting a decode-level 400.
+func TestHTTPDelivererSplitsOversizedBatch(t *testing.T) {
+	var posts, decoded atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		events, _, err := serve.DecodeEvents(r)
+		if err != nil {
+			t.Errorf("server rejected a split batch: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		posts.Add(1)
+		decoded.Add(int64(len(events)))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]int{"accepted": len(events)})
+	}))
+	defer srv.Close()
+
+	big := strings.Repeat("a", 3<<20)
+	evs := make([]serve.Event, 3)
+	for i := range evs {
+		evs[i] = serve.Event{ClientID: "c", User: "u", SQL: big, Seq: int64(i + 1), Epoch: 1}
+	}
+	sm := NewMetrics(nil).Source("t")
+	d := &HTTPDeliverer{URL: srv.URL, Backoff: fastBackoff(), Metrics: sm}
+	if err := d.Deliver(context.Background(), evs); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Load() != 3 {
+		t.Fatalf("server decoded %d events, want 3", decoded.Load())
+	}
+	if posts.Load() < 2 {
+		t.Fatalf("posts = %d, want >= 2 (batch must have been split)", posts.Load())
+	}
+	if got := sm.deliveredEvents.Value(); got != 3 {
+		t.Fatalf("delivered = %d, want 3", got)
+	}
+}
+
+// TestHTTPDelivererDropsUndeliverableEvent: a single event too large
+// for the server's request cap can never be accepted; it is dropped
+// (and counted) rather than wedging the stream.
+func TestHTTPDelivererDropsUndeliverableEvent(t *testing.T) {
+	var posts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+
+	sm := NewMetrics(nil).Source("t")
+	d := &HTTPDeliverer{URL: srv.URL, Backoff: fastBackoff(), Metrics: sm}
+	evs := []serve.Event{{ClientID: "c", User: "u", SQL: strings.Repeat("a", maxBatchBytes+1), Seq: 1, Epoch: 1}}
+	if err := d.Deliver(context.Background(), evs); err != nil {
+		t.Fatal(err)
+	}
+	if posts.Load() != 0 {
+		t.Fatalf("posted %d oversized bodies", posts.Load())
+	}
+	if got := sm.droppedEvents.Value(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+}
+
+// TestHTTPDeliverer501GivesUp: statuses like 501/505 signal a
+// misconfigured endpoint, not load; the deliverer retries a bounded
+// number of times and then surfaces the error instead of wedging.
+func TestHTTPDeliverer501GivesUp(t *testing.T) {
+	var posts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		w.WriteHeader(http.StatusNotImplemented)
+	}))
+	defer srv.Close()
+
+	d := &HTTPDeliverer{URL: srv.URL, Backoff: fastBackoff()}
+	if err := d.Deliver(context.Background(), smallEvents(1)); err == nil {
+		t.Fatal("perpetual 501 reported as delivered")
+	}
+	if got := posts.Load(); got != maxCapped5xxAttempts {
+		t.Fatalf("posts = %d, want %d", got, maxCapped5xxAttempts)
+	}
+}

@@ -2,17 +2,19 @@
 // a raw DBMS audit trail to alerts. A pluggable Source yields executed
 // operations (an in-process minidb hook, or a JSONL/CSV file tailer
 // that follows log rotation), a Sessionizer groups them into
-// per-connection sessions with idle cut-off and stamps each event with
-// its 1-based sequence number, and a Deliverer hands batches to the
+// per-connection sessions with an event-time idle cut-off and stamps
+// each event with its 1-based sequence number and session epoch, and a
+// Deliverer hands batches to the
 // serving layer — direct serve.Service calls in-process, or an HTTP
 // client with retry/backoff and tenant routing against a remote
 // ucad-serve.
 //
 // Delivery is at-least-once: the Feeder commits its resume state (file
-// position plus the sessionizer's sequence counters) atomically only
-// after a batch is acknowledged, so a crash between read and commit
-// replays the tail. The serving layer deduplicates replayed events by
-// their sequence numbers (serve.Event.Seq), which turns at-least-once
+// position plus the sessionizer's sequence counters and epoch)
+// atomically only after a batch is acknowledged, so a crash between
+// read and commit replays the tail. The serving layer deduplicates
+// replayed events by their (epoch, sequence) coordinates
+// (serve.Event.Epoch, serve.Event.Seq), which turns at-least-once
 // delivery into exactly-once sessions — the invariant the kill -9
 // end-to-end test in cmd/ucad-feed pins down.
 package feed

@@ -23,6 +23,12 @@ import (
 type Checkpoint struct {
 	Pos      Position              `json:"pos"`
 	Sessions map[string]SessionSeq `json:"sessions,omitempty"`
+	// Epoch is the sessionizer's last issued session epoch. It is
+	// persisted separately from Sessions because the highest-epoch
+	// session may already have been swept from the counters, and a
+	// restart must never reissue an epoch the serving layer could still
+	// hold open.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // Position names the committed offset of a file-backed source. Kind
@@ -159,6 +165,7 @@ func (f *Feeder) restore() error {
 		return err
 	}
 	f.sess.Restore(cp.Sessions)
+	f.sess.SetEpoch(cp.Epoch)
 	if p, isPos := f.cfg.Source.(positioned); isPos && cp.Pos.Kind == "file" {
 		if err := p.SeekTo(cp.Pos.File); err != nil {
 			return fmt.Errorf("feed: seek to checkpoint: %w", err)
@@ -189,7 +196,7 @@ func (f *Feeder) commit() error {
 	if f.cfg.CheckpointPath == "" {
 		return nil
 	}
-	cp := Checkpoint{Pos: Position{Kind: "none"}, Sessions: f.sess.Export()}
+	cp := Checkpoint{Pos: Position{Kind: "none"}, Sessions: f.sess.Export(), Epoch: f.sess.Epoch()}
 	if p, isPos := f.cfg.Source.(positioned); isPos {
 		cp.Pos = Position{Kind: "file", File: p.Pos()}
 	}

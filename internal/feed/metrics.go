@@ -13,9 +13,11 @@ type Metrics struct {
 	parseErrors     *obs.CounterVec
 	lagBytes        *obs.GaugeVec
 	deliveredEvents *obs.CounterVec
+	droppedEvents   *obs.CounterVec
 	deliveryRetries *obs.CounterVec
 	checkpoints     *obs.CounterVec
 	deliverySeconds *obs.HistogramVec
+	rotationGaps    *obs.CounterVec
 }
 
 // NewMetrics registers the feed families on reg (nil means a fresh
@@ -34,6 +36,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Bytes in the live log file not yet returned to the feeder.", "source"),
 		deliveredEvents: reg.CounterVec("ucad_feed_delivered_events_total",
 			"Events acknowledged by the serving layer.", "source"),
+		droppedEvents: reg.CounterVec("ucad_feed_dropped_events_total",
+			"Events dropped as permanently undeliverable (rejected as invalid by the server, or oversized).", "source"),
 		deliveryRetries: reg.CounterVec("ucad_feed_delivery_retries_total",
 			"Delivery attempts that were retried after backpressure or transport errors.", "source"),
 		checkpoints: reg.CounterVec("ucad_feed_checkpoints_total",
@@ -41,6 +45,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		deliverySeconds: reg.HistogramVec("ucad_feed_delivery_seconds",
 			"Latency of delivering one batch to the serving layer (including retries).",
 			obs.LatencyBuckets, "source"),
+		rotationGaps: reg.CounterVec("ucad_feed_rotation_gaps_total",
+			"Resume or rotation points where log data may have been skipped (multiple rotations between polls, or a checkpointed file no longer available).", "source"),
 	}
 }
 
@@ -51,9 +57,11 @@ func (m *Metrics) Source(name string) *SourceMetrics {
 		parseErrors:     m.parseErrors.With(name),
 		lagBytes:        m.lagBytes.With(name),
 		deliveredEvents: m.deliveredEvents.With(name),
+		droppedEvents:   m.droppedEvents.With(name),
 		deliveryRetries: m.deliveryRetries.With(name),
 		checkpoints:     m.checkpoints.With(name),
 		deliverySeconds: m.deliverySeconds.With(name),
+		rotationGaps:    m.rotationGaps.With(name),
 	}
 }
 
@@ -65,9 +73,11 @@ type SourceMetrics struct {
 	parseErrors     *obs.Counter
 	lagBytes        *obs.Gauge
 	deliveredEvents *obs.Counter
+	droppedEvents   *obs.Counter
 	deliveryRetries *obs.Counter
 	checkpoints     *obs.Counter
 	deliverySeconds *obs.Histogram
+	rotationGaps    *obs.Counter
 }
 
 func (s *SourceMetrics) lineRead() {
@@ -91,6 +101,18 @@ func (s *SourceMetrics) setLagBytes(v float64) {
 func (s *SourceMetrics) delivered(n int) {
 	if s != nil {
 		s.deliveredEvents.Add(int64(n))
+	}
+}
+
+func (s *SourceMetrics) dropped(n int) {
+	if s != nil && n > 0 {
+		s.droppedEvents.Add(int64(n))
+	}
+}
+
+func (s *SourceMetrics) rotationGap() {
+	if s != nil {
+		s.rotationGaps.Inc()
 	}
 }
 

@@ -9,23 +9,38 @@ import (
 
 // Sessionizer turns a stream of audit operations into serve events
 // grouped by (client, connection): each operation is stamped with the
-// session's next 1-based sequence number, and a client idle past the
-// cut-off starts a fresh session (mirroring the serving assembler's
-// idle close-out, so both sides agree on session boundaries).
+// session's next 1-based sequence number plus the session's epoch, and
+// a client idle past the cut-off starts a fresh session under a new
+// epoch. Idle gaps are measured in event time (the log's timestamps),
+// and so is Sweep: the sessionizer keeps a stream clock — the maximum
+// event timestamp seen — so catching up on a backlog of old records
+// never mistakes live counters for stale ones the way a wall-clock
+// sweep would. The epoch is what lets the serving layer tell a
+// post-gap session (Seq restarting at 1 under a higher epoch) apart
+// from a redelivery of the previous one.
 //
 // Its counters are part of the feeder's resume state: Export/Restore
-// round-trip them through the checkpoint, so sequence numbers keep
-// counting from the committed prefix after a restart and a replayed
-// operation carries the same Seq it did the first time — the property
-// the serving layer's deduplication relies on.
+// round-trip them through the checkpoint, so sequence numbers and
+// epochs keep counting from the committed prefix after a restart and a
+// replayed operation carries the same (Epoch, Seq) it did the first
+// time — the property the serving layer's deduplication relies on.
 type Sessionizer struct {
 	idle  time.Duration
 	now   func() time.Time
 	state map[string]*SessionSeq
+	// epoch is the last assigned session epoch: a monotonic counter
+	// persisted in the checkpoint, so a session started after a restart
+	// (or after its predecessor's counters were swept) never reuses an
+	// epoch the serving layer may still hold open.
+	epoch int64
+	// stream is the stream clock: the max event timestamp seen.
+	stream time.Time
 }
 
 // SessionSeq is one client's sessionization state.
 type SessionSeq struct {
+	// Epoch identifies this session generation (see Sessionizer.epoch).
+	Epoch int64 `json:"epoch,omitempty"`
 	// Seq is the sequence number of the session's last operation.
 	Seq int64 `json:"seq"`
 	// Last is the timestamp of the session's last operation.
@@ -60,10 +75,14 @@ func (z *Sessionizer) Event(tenant string, op session.Operation) serve.Event {
 	if ts.IsZero() {
 		ts = z.now()
 	}
+	if ts.After(z.stream) {
+		z.stream = ts
+	}
 	client := clientOf(op)
 	st := z.state[client]
 	if st == nil || ts.Sub(st.Last) > z.idle {
-		st = &SessionSeq{}
+		z.epoch++
+		st = &SessionSeq{Epoch: z.epoch}
 		z.state[client] = st
 	}
 	st.Seq++
@@ -76,13 +95,20 @@ func (z *Sessionizer) Event(tenant string, op session.Operation) serve.Event {
 		SQL:      op.SQL,
 		Time:     op.Time,
 		Seq:      st.Seq,
+		Epoch:    st.Epoch,
 	}
 }
 
 // Sweep drops state for clients idle past the cut-off (memory bound);
-// their next operation starts a new session, as it would server-side.
+// their next operation starts a new session — under a fresh epoch, as
+// it would have anyway. Idleness is judged against the stream clock,
+// never the wall clock, so replaying a backlog of old records cannot
+// sweep counters that are live in stream time.
 func (z *Sessionizer) Sweep() {
-	cutoff := z.now().Add(-z.idle)
+	if z.stream.IsZero() {
+		return
+	}
+	cutoff := z.stream.Add(-z.idle)
 	for client, st := range z.state {
 		if st.Last.Before(cutoff) {
 			delete(z.state, client)
@@ -100,10 +126,29 @@ func (z *Sessionizer) Export() map[string]SessionSeq {
 }
 
 // Restore installs checkpointed sequence counters (before streaming
-// starts).
+// starts) and advances the stream clock and epoch counter past them.
 func (z *Sessionizer) Restore(m map[string]SessionSeq) {
 	for client, st := range m {
 		cp := st
 		z.state[client] = &cp
+		if cp.Last.After(z.stream) {
+			z.stream = cp.Last
+		}
+		if cp.Epoch > z.epoch {
+			z.epoch = cp.Epoch
+		}
+	}
+}
+
+// Epoch returns the last assigned session epoch (checkpointed so a
+// restart never reissues one).
+func (z *Sessionizer) Epoch() int64 { return z.epoch }
+
+// SetEpoch raises the epoch counter to at least n. It must cover every
+// epoch ever issued — Restore alone is not enough, because the
+// highest-epoch session may already have been swept from the counters.
+func (z *Sessionizer) SetEpoch(n int64) {
+	if n > z.epoch {
+		z.epoch = n
 	}
 }

@@ -37,8 +37,12 @@ type TailerConfig struct {
 //
 // Pos/SeekTo expose the byte position after the last returned record,
 // pinned to the file's inode, so a Feeder checkpoint resumes exactly
-// where delivery stopped even if the file rotated in between. Not safe
-// for concurrent use.
+// where delivery stopped even if the file rotated in between. The
+// tailer follows one rotation at a time: if the log rotates more than
+// once between polls (or while the feeder is down and the checkpointed
+// file is gone), the skipped generations are counted in the
+// ucad_feed_rotation_gaps_total metric rather than lost silently. Not
+// safe for concurrent use.
 type Tailer struct {
 	cfg   TailerConfig
 	parse func([]byte) (session.Operation, error)
@@ -56,6 +60,12 @@ type Tailer struct {
 	// of them, because a writer holding the renamed file open may still
 	// be finishing a half-written record (rotation mid-record).
 	rotatePolls int
+
+	// expectIno is the live file's inode observed when rotation was
+	// first detected. If the file the tailer eventually reopens has a
+	// different inode, the log rotated again in between and at least one
+	// intermediate generation was skipped — counted as a rotation gap.
+	expectIno uint64
 }
 
 // rotateGrace is how many quiet poll cycles the tailer keeps draining a
@@ -117,7 +127,10 @@ func (t *Tailer) SeekTo(pos FilePos) error {
 		if st.Size() >= pos.Offset {
 			return open(t.cfg.Path, pos.Offset, false)
 		}
-		return nil // truncated below the checkpoint: restart from scratch
+		// Truncated below the checkpoint: whatever was committed past the
+		// truncation point cannot be re-read — restart from scratch.
+		t.cfg.Metrics.rotationGap()
+		return nil
 	}
 	// The checkpointed inode is not at Path: look for the rotated file.
 	matches, _ := filepath.Glob(t.cfg.Path + "*")
@@ -126,7 +139,11 @@ func (t *Tailer) SeekTo(pos FilePos) error {
 			return open(m, pos.Offset, true)
 		}
 	}
-	return nil // rotated file deleted: restart from the current head
+	// Rotated file deleted while the feeder was down: the tail of that
+	// generation (and any intermediates) is unrecoverable — restart from
+	// the current head.
+	t.cfg.Metrics.rotationGap()
+	return nil
 }
 
 // Next returns the next parsed record, blocking for the writer.
@@ -186,6 +203,14 @@ func (t *Tailer) fill() (bool, error) {
 			return false, err
 		}
 		t.f, t.ino, t.readOff, t.retOff = f, fileIno(st), 0, 0
+		if t.expectIno != 0 {
+			if t.ino != t.expectIno {
+				// The log rotated again while the old generation was
+				// draining: whatever lived at Path in between is gone.
+				t.cfg.Metrics.rotationGap()
+			}
+			t.expectIno = 0
+		}
 		return true, nil
 	}
 
@@ -212,6 +237,9 @@ func (t *Tailer) fill() (bool, error) {
 		// remnant and switching to the new file.
 		if serr != nil && !os.IsNotExist(serr) {
 			return false, serr
+		}
+		if t.expectIno == 0 && serr == nil {
+			t.expectIno = fileIno(st) // the generation we expect to open next
 		}
 		if t.rotatePolls < rotateGrace {
 			t.rotatePolls++

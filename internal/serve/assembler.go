@@ -31,6 +31,12 @@ type openSession struct {
 	sess     *session.Session
 	keys     []int
 	lastSeen time.Time
+	// epoch/lastSeq are the dedupe high-water mark for epoch-carrying
+	// senders (Event.Epoch > 0): the newest sender session generation
+	// absorbed and its last sequence number. Zero epoch means only
+	// legacy (epoch-less) events have been appended.
+	epoch   int64
+	lastSeq int64
 }
 
 // NewAssembler builds an assembler closing sessions after idle of
@@ -70,12 +76,16 @@ type Appended struct {
 // the whole session).
 //
 // An event with a positive Seq is deduplicated against the client's
-// open session: if the session already holds Seq or more operations the
-// event is a redelivery and Append returns Dup without mutating state.
-// Dedup cannot reach across a close-out — once a session leaves the
-// assembler, a late redelivery of its statements opens a fresh session
-// — so feeders must keep their checkpoint lag well inside the idle
-// timeout.
+// open session. When both the event and the session carry an epoch
+// (Event.Epoch > 0), the check is fenced on it: an older epoch, or the
+// same epoch at or below the session's last absorbed Seq, is a
+// redelivery; a newer epoch is fresh traffic (the sender started a new
+// session, so its Seq restarting at 1 must not look like a replay).
+// Epoch-less events fall back to comparing Seq against the session
+// length. A duplicate returns Dup without mutating state. Dedup cannot
+// reach across a close-out — once a session leaves the assembler, a
+// late redelivery of its statements opens a fresh session — so feeders
+// must keep their checkpoint lag well inside the idle timeout.
 func (a *Assembler) Append(ev Event, key, window int) Appended {
 	now := a.now()
 	ts := ev.Time
@@ -87,7 +97,7 @@ func (a *Assembler) Append(ev Event, key, window int) Appended {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	os := a.open[client]
-	if os != nil && ev.Seq > 0 && int64(len(os.keys)) >= ev.Seq {
+	if os != nil && ev.Seq > 0 && os.isDupLocked(ev) {
 		os.lastSeen = now // the client is clearly alive; keep the session open
 		return Appended{SessionID: os.sess.ID, Pos: int(ev.Seq) - 1, Dup: true}
 	}
@@ -106,6 +116,9 @@ func (a *Assembler) Append(ev Event, key, window int) Appended {
 	})
 	os.keys = append(os.keys, key)
 	os.lastSeen = now
+	if ev.Epoch > 0 {
+		os.epoch, os.lastSeq = ev.Epoch, ev.Seq
+	}
 
 	lo := 0
 	if window > 0 && len(os.keys) > window {
@@ -113,6 +126,21 @@ func (a *Assembler) Append(ev Event, key, window int) Appended {
 	}
 	snap := append([]int(nil), os.keys[lo:]...)
 	return Appended{SessionID: os.sess.ID, Pos: len(os.keys) - 1, Keys: snap, Time: ts}
+}
+
+// isDupLocked reports whether a sequenced event (ev.Seq > 0) is a
+// redelivery the open session already absorbed. Sender epochs are
+// monotonic and delivery is in order, so anything from an older epoch —
+// or from the current one at or below its last Seq — was already seen.
+// When exactly one side carries an epoch the mark is incomparable
+// (e.g. a session restored from a pre-epoch snapshot) and the event is
+// treated as new: a rare duplicate beats silently dropping live data.
+func (os *openSession) isDupLocked(ev Event) bool {
+	if ev.Epoch > 0 || os.epoch > 0 {
+		return ev.Epoch > 0 && os.epoch > 0 &&
+			(ev.Epoch < os.epoch || (ev.Epoch == os.epoch && ev.Seq <= os.lastSeq))
+	}
+	return int64(len(os.keys)) >= ev.Seq
 }
 
 // Rollback removes the operation at position pos from the client's open
@@ -197,6 +225,10 @@ type SessionState struct {
 	Addr     string              `json:"addr,omitempty"`
 	LastSeen time.Time           `json:"last_seen"`
 	Ops      []session.Operation `json:"ops"`
+	// Epoch/LastSeq carry the sender-side dedupe high-water mark (see
+	// openSession) so redelivery fencing survives a restart.
+	Epoch   int64 `json:"epoch,omitempty"`
+	LastSeq int64 `json:"last_seq,omitempty"`
 }
 
 // Export snapshots every open session plus the session-id counter,
@@ -213,6 +245,8 @@ func (a *Assembler) Export() (seq int, out []SessionState) {
 			Addr:     os.sess.Addr,
 			LastSeen: os.lastSeen,
 			Ops:      append([]session.Operation(nil), os.sess.Ops...),
+			Epoch:    os.epoch,
+			LastSeq:  os.lastSeq,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
@@ -233,6 +267,8 @@ func (a *Assembler) Restore(st SessionState, keys []int) {
 		},
 		keys:     append([]int(nil), keys...),
 		lastSeen: st.LastSeen,
+		epoch:    st.Epoch,
+		lastSeq:  st.LastSeq,
 	}
 	a.opened++
 	a.bumpSeqLocked(st.ID)
@@ -263,9 +299,11 @@ func (a *Assembler) bumpSeqLocked(id string) {
 // position of the identified session (creating the session at position
 // 0). Duplicates — records whose effect the snapshot already captured —
 // and gaps are dropped silently, so replaying any WAL suffix on top of
-// any snapshot converges on the prefix state the log acknowledged. It
-// reports whether the operation was applied.
-func (a *Assembler) ReplayAppend(client, sessionID string, pos int, op session.Operation, key int) bool {
+// any snapshot converges on the prefix state the log acknowledged.
+// epoch/seq, when positive, restore the sender-side dedupe high-water
+// mark the original Append recorded. It reports whether the operation
+// was applied.
+func (a *Assembler) ReplayAppend(client, sessionID string, pos int, op session.Operation, key int, epoch, seq int64) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	os := a.open[client]
@@ -289,6 +327,9 @@ func (a *Assembler) ReplayAppend(client, sessionID string, pos int, op session.O
 	op.Key = key
 	os.sess.Ops = append(os.sess.Ops, op)
 	os.keys = append(os.keys, key)
+	if epoch > 0 {
+		os.epoch, os.lastSeq = epoch, seq
+	}
 	if op.Time.After(os.lastSeen) {
 		os.lastSeen = op.Time
 	}

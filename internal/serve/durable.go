@@ -73,6 +73,11 @@ type walRecord struct {
 	Addr   string    `json:"a,omitempty"`
 	SQL    string    `json:"q,omitempty"`
 	TS     time.Time `json:"ts"`
+	// Epoch/Seq are the event's sender-side dedupe coordinates
+	// (Event.Epoch/Event.Seq), replayed so redelivery fencing survives
+	// recovery. Absent on pre-epoch logs and on epoch-less events.
+	Epoch int64 `json:"e,omitempty"`
+	Seq   int64 `json:"n,omitempty"`
 }
 
 // snapState is the snapshot payload: the assembler's full open-session
@@ -167,7 +172,7 @@ func (s *Service) replayRecord(r walRecord, st *RestoreStats) {
 		key := s.ucad.Vocab.Key(r.SQL)
 		s.asm.ReplayAppend(r.Client, r.SID, r.Pos, session.Operation{
 			Time: r.TS, User: r.User, Addr: r.Addr, SQL: r.SQL,
-		}, key)
+		}, key, r.Epoch, r.Seq)
 	case recClose:
 		s.asm.ReplayClose(r.Client, r.SID)
 	case recRollback:
@@ -206,6 +211,7 @@ func (s *Service) ingestDurable(store *wal.Store, ev Event, key int) (Appended, 
 	err := s.appendWAL(store, walRecord{
 		T: recEvent, Client: client, SID: ap.SessionID, Pos: ap.Pos,
 		User: ev.User, Addr: ev.Addr, SQL: ev.SQL, TS: ap.Time,
+		Epoch: ev.Epoch, Seq: ev.Seq,
 	})
 	if err != nil {
 		s.asm.Rollback(client, ap.Pos)

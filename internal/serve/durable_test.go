@@ -239,21 +239,21 @@ func TestDurableReplayIdempotence(t *testing.T) {
 	op := func(p int) session.Operation {
 		return session.Operation{User: "app", SQL: normalStatement(p)}
 	}
-	if !a.ReplayAppend("c1", "c1#1", 0, op(0), 3) {
+	if !a.ReplayAppend("c1", "c1#1", 0, op(0), 3, 0, 0) {
 		t.Fatal("creation replay rejected")
 	}
-	if !a.ReplayAppend("c1", "c1#1", 1, op(1), 4) {
+	if !a.ReplayAppend("c1", "c1#1", 1, op(1), 4, 0, 0) {
 		t.Fatal("append replay rejected")
 	}
 	// Duplicates (already-applied positions) and gaps are dropped.
-	if a.ReplayAppend("c1", "c1#1", 0, op(0), 3) {
+	if a.ReplayAppend("c1", "c1#1", 0, op(0), 3, 0, 0) {
 		t.Fatal("duplicate replay applied twice")
 	}
-	if a.ReplayAppend("c1", "c1#1", 5, op(5), 4) {
+	if a.ReplayAppend("c1", "c1#1", 5, op(5), 4, 0, 0) {
 		t.Fatal("gap replay applied")
 	}
 	// Mismatched session id (stale record) is dropped.
-	if a.ReplayAppend("c1", "c1#0", 2, op(2), 4) {
+	if a.ReplayAppend("c1", "c1#0", 2, op(2), 4, 0, 0) {
 		t.Fatal("stale-session replay applied")
 	}
 	if a.OpenCount() != 1 {

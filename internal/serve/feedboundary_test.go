@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"github.com/ucad/ucad/internal/session"
 )
 
 func TestAssemblerSeqDedupe(t *testing.T) {
@@ -57,6 +59,84 @@ func TestAssemblerSeqDedupe(t *testing.T) {
 	clk.Advance(2 * time.Minute)
 	if closed := a.CloseIdle(); len(closed) != 0 {
 		t.Fatalf("session idled out despite dup refresh: %d closed", len(closed))
+	}
+}
+
+// TestAssemblerEpochFencedDedupe pins the epoch fence: a feeder
+// sessionizing by event time restarts Seq at 1 under a new epoch when
+// the log has an idle gap, and the wall-clock assembler — whose session
+// for that client may still be open — must treat those events as fresh
+// traffic, not redeliveries, while still deduplicating true replays of
+// either epoch.
+func TestAssemblerEpochFencedDedupe(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAssembler(10*time.Minute, clk.Now)
+	ev := func(epoch, seq int64) Event {
+		return Event{ClientID: "c", User: "u", SQL: "s", Seq: seq, Epoch: epoch}
+	}
+
+	for seq := int64(1); seq <= 3; seq++ {
+		if ap := a.Append(ev(1, seq), int(seq), 8); ap.Dup {
+			t.Fatalf("epoch 1 seq %d wrongly deduplicated", seq)
+		}
+	}
+	if ap := a.Append(ev(1, 2), 9, 8); !ap.Dup {
+		t.Fatalf("epoch 1 seq 2 replay not deduplicated: %+v", ap)
+	}
+
+	// The feeder's post-gap session: a higher epoch with Seq back at 1
+	// is new traffic even though the open session already holds 3 ops.
+	ap := a.Append(ev(2, 1), 4, 8)
+	if ap.Dup || ap.Pos != 3 {
+		t.Fatalf("epoch 2 seq 1 swallowed as duplicate: %+v", ap)
+	}
+	if ap := a.Append(ev(2, 2), 5, 8); ap.Dup || ap.Pos != 4 {
+		t.Fatalf("epoch 2 seq 2: %+v", ap)
+	}
+
+	// Replays of either epoch are still duplicates.
+	if ap := a.Append(ev(1, 3), 9, 8); !ap.Dup {
+		t.Fatalf("older-epoch replay not deduplicated: %+v", ap)
+	}
+	if ap := a.Append(ev(2, 1), 9, 8); !ap.Dup {
+		t.Fatalf("current-epoch replay not deduplicated: %+v", ap)
+	}
+	if got := a.OpenCount(); got != 1 {
+		t.Fatalf("open sessions = %d, want 1", got)
+	}
+
+	// An epoch-less sequenced event cannot be compared against the
+	// epoch mark; it appends (a rare duplicate beats dropped live data).
+	if ap := a.Append(Event{ClientID: "c", User: "u", SQL: "s", Seq: 1}, 6, 8); ap.Dup {
+		t.Fatalf("epoch-less event wrongly deduplicated: %+v", ap)
+	}
+
+	// The high-water mark survives Export/Restore (snapshot recovery).
+	seqFloor, states := a.Export()
+	b := NewAssembler(10*time.Minute, clk.Now)
+	keys := make([]int, len(states[0].Ops))
+	for i := range keys {
+		keys[i] = i + 1
+	}
+	b.Restore(states[0], keys)
+	b.SetSeqFloor(seqFloor)
+	if ap := b.Append(ev(2, 2), 9, 8); !ap.Dup {
+		t.Fatalf("restored assembler lost the epoch mark: %+v", ap)
+	}
+	if ap := b.Append(ev(3, 1), 7, 8); ap.Dup {
+		t.Fatalf("restored assembler swallowed a new epoch: %+v", ap)
+	}
+
+	// ...and survives WAL replay (crash recovery).
+	c := NewAssembler(10*time.Minute, clk.Now)
+	if !c.ReplayAppend("c", "c#1", 0, session.Operation{User: "u", SQL: "s"}, 1, 2, 5) {
+		t.Fatal("replay append refused")
+	}
+	if ap := c.Append(ev(2, 5), 9, 8); !ap.Dup {
+		t.Fatalf("replayed assembler lost the epoch mark: %+v", ap)
+	}
+	if ap := c.Append(ev(2, 6), 2, 8); ap.Dup {
+		t.Fatalf("replayed assembler swallowed fresh traffic: %+v", ap)
 	}
 }
 

@@ -46,6 +46,18 @@ type Event struct {
 	// checkpoint after a crash) yields exactly-once sessions. Zero means
 	// "no sequence" and disables deduplication for the event.
 	Seq int64 `json:"seq,omitempty"`
+	// Epoch, when positive, identifies the sender-side session
+	// generation that assigned Seq: a feeder sessionizing by event time
+	// bumps the epoch (monotonically, persisted in its checkpoint) each
+	// time a client's idle gap starts a new session, so Seq restarts at 1
+	// under a fresh epoch. The assembler fences its deduplication on the
+	// epoch — a replayed (epoch, seq) at or below the open session's
+	// high-water mark is a duplicate, while a higher epoch is genuinely
+	// new traffic even though its Seq restarted — which keeps a wall-clock
+	// server from swallowing a backlogged feeder's post-gap sessions.
+	// Zero means "no epoch" and falls back to comparing Seq against the
+	// open session's length.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // Client returns the assembly key for the event.
