@@ -37,8 +37,9 @@ bench:
 # A fast scoring/training-benchmark pass (sub-minute) that CI runs on
 # every build: it does not gate on throughput numbers, but catches hot
 # paths that break outright or regress catastrophically. The combined
-# text output is converted to BENCH_PR7.json (serve throughput single-
-# and 4-tenant, feed front-door lines/sec, batch scoring, training
+# text output is converted to BENCH_PR8.json (serve throughput across
+# the ingest-shard matrix shards={1,4,8} at workers=8, 4-tenant routed
+# ingest, feed front-door lines/sec, batch scoring, training
 # windows/sec) for the CI artifact.
 bench-smoke:
 	{ \
@@ -46,7 +47,7 @@ bench-smoke:
 	  $(GO) test -bench=BenchmarkTrainEpoch -benchtime=1x -benchmem -run='^$$' . && \
 	  $(GO) test -bench=BenchmarkScoreSequentialTape -benchtime=100ms -run='^$$' ./internal/transdas/ ; \
 	} | tee bench-smoke.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR7.json < bench-smoke.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR8.json < bench-smoke.out
 	@rm -f bench-smoke.out
 
 serve-bench:

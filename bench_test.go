@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -347,32 +348,44 @@ func benchServeModel(b *testing.B) (*core.UCAD, []string) {
 
 // BenchmarkServeThroughput pushes a raw event stream through the full
 // serving pipeline — per-client session assembly plus the concurrent
-// scoring pool — and reports events/sec at several worker counts. One
-// goroutine ingests (the HTTP layer is bypassed); the workers score.
+// scoring pool — and reports events/sec across ingest shard counts
+// (the HTTP layer is bypassed). Ingest runs from GOMAXPROCS goroutines
+// with disjoint client sets, so the shards dimension measures real
+// cross-client parallelism: shards=1 serializes every append on one
+// session-map mutex and one scoring queue, while shards=8 spreads
+// clients across independent shard locks and queues.
 func BenchmarkServeThroughput(b *testing.B) {
 	u, stmts := benchServeModel(b)
 
-	for _, workers := range []int{1, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	const workers = 8
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
 			svc := serve.NewService(u, serve.Config{
 				Workers:     workers,
-				QueueSize:   4096,
+				Shards:      shards,
+				QueueSize:   8192,
 				Batch:       16,
 				IdleTimeout: time.Hour,
 			})
-			const clients = 32
-			ids := make([]string, clients)
-			for i := range ids {
-				ids[i] = fmt.Sprintf("bench-client-%d", i)
-			}
+			var nextG atomic.Int64
 			b.ReportAllocs()
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				ev := serve.Event{ClientID: ids[i%clients], User: "app", SQL: stmts[i%len(stmts)]}
-				for svc.Ingest(ev) == serve.ErrBusy {
-					runtime.Gosched() // backpressure: wait for the pool
+			b.RunParallel(func(pb *testing.PB) {
+				g := nextG.Add(1)
+				const clients = 8
+				ids := make([]string, clients)
+				for c := range ids {
+					ids[c] = fmt.Sprintf("bench-%d-client-%d", g, c)
 				}
-			}
+				i := 0
+				for pb.Next() {
+					ev := serve.Event{ClientID: ids[i%clients], User: "app", SQL: stmts[i%len(stmts)]}
+					for svc.Ingest(ev) == serve.ErrBusy {
+						runtime.Gosched() // backpressure: wait for the pool
+					}
+					i++
+				}
+			})
 			svc.Drain()
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")

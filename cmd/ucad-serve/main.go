@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ucad-serve -model ucad.model [-addr :8844] [-workers 4] [-data-dir DIR] [-fsync always] [-pprof]
+//	ucad-serve -model ucad.model [-addr :8844] [-workers 4] [-shards N] [-data-dir DIR] [-fsync always] [-pprof]
 //	ucad-serve -tenants tenants.json -data-dir DIR [-addr :8844] ...
 //
 // Without -tenants the process serves one default tenant from -model —
@@ -21,6 +21,11 @@
 // and each tenant gets its own model, WAL, snapshots, and checkpoint
 // manifest under <data-dir>/tenants/<id>/. Tenants created later
 // through the admin API persist there too and come back on restart.
+//
+// Ingestion is sharded: sessions partition across -shards assembler
+// shards by client hash, each shard owning its own session map, WAL
+// stream, and scoring queue. Restarting with a different -shards value
+// is safe — restore remaps the persisted state to the new layout.
 //
 // With -data-dir the service is crash-safe: every accepted event is
 // appended to the owning tenant's write-ahead log before it is
@@ -38,6 +43,7 @@
 //	GET    /v1/alerts?status=open  flagged sessions awaiting expert review (?tenant= selects)
 //	POST   /v1/alerts/{id}/resolve {"verdict":"false_alarm"|"confirmed"}
 //	GET    /v1/tenants             tenant list; POST creates, DELETE /v1/tenants/{id} removes
+//	PUT    /v1/tenants/{id}/model  hot-swap the tenant's model (body: a ucad train model file)
 //	GET    /v1/tenants/{id}/stats  per-tenant counters (also .../alerts, .../drain)
 //	GET    /healthz                liveness
 //	GET    /stats                  serving counters (JSON; ?tenant= selects)
@@ -70,6 +76,7 @@ func main() {
 	tenantsFile := flag.String("tenants", "", "JSON tenant specs ([{\"id\":...,\"model\":...}]); empty serves a single default tenant")
 	addr := flag.String("addr", ":8844", "HTTP listen address")
 	workers := flag.Int("workers", 4, "scoring worker-pool size per tenant")
+	shards := flag.Int("shards", 0, "ingest shards per tenant (sessions partitioned by client hash; <=0 uses all CPUs)")
 	queue := flag.Int("queue", 1024, "scoring queue capacity per tenant (backpressure bound)")
 	batch := flag.Int("batch", 16, "scoring micro-batch size per worker pass")
 	idle := flag.Duration("idle-timeout", 10*time.Minute, "close a client session after this inactivity")
@@ -116,6 +123,7 @@ func main() {
 		Root: *dataDir,
 		Serve: serve.Config{
 			Workers:           *workers,
+			Shards:            *shards,
 			QueueSize:         *queue,
 			Batch:             *batch,
 			IdleTimeout:       *idle,

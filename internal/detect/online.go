@@ -37,8 +37,10 @@ type Online struct {
 	ucad *core.UCAD
 	// scorers pools batch-first scorers for RankBatch; a pooled Scorer
 	// stays valid across Retrain because fine-tuning updates the model
-	// parameters in place under modelMu.
-	scorers sync.Pool
+	// parameters in place under modelMu. SwapModel replaces the pool
+	// wholesale (the old model's scorers must never rank for the new
+	// one), so Get/Put happen under the model read-lock.
+	scorers *sync.Pool
 	// verified accumulates sessions confirmed normal since the last
 	// retraining round.
 	verified []*session.Session
@@ -96,9 +98,25 @@ func (o *Online) SetTrainHooks(h TrainHooks) {
 
 // NewOnline wraps a trained detector.
 func NewOnline(u *core.UCAD) *Online {
-	o := &Online{ucad: u}
-	o.scorers.New = func() any { return u.Model.NewScorer() }
-	return o
+	return &Online{ucad: u, scorers: scorerPool(u)}
+}
+
+func scorerPool(u *core.UCAD) *sync.Pool {
+	return &sync.Pool{New: func() any { return u.Model.NewScorer() }}
+}
+
+// SwapModel hot-replaces the wrapped detector under the model
+// write-lock: in-flight scoring batches finish against the old model
+// first, then every later read — Process, RankAt, RankBatch, Save —
+// sees the new one. The scorer pool is replaced too, so no pooled
+// scorer built on the old model can rank for the new one. The pending
+// verified pool and alerts carry over — sessions already judged keep
+// their verdicts and still feed the next fine-tune round.
+func (o *Online) SwapModel(u *core.UCAD) {
+	o.modelMu.Lock()
+	o.ucad = u
+	o.scorers = scorerPool(u)
+	o.modelMu.Unlock()
 }
 
 // Process evaluates one active session. Normal sessions join the
@@ -228,17 +246,25 @@ func (o *Online) RankAt(buf []float64, preceding []int, key int) int {
 // unit, so every rank in it reflects the same model version. dst is
 // grown as needed and returned; len(keys) must equal len(contexts).
 func (o *Online) RankBatch(dst []int, contexts [][]int, keys []int) []int {
-	s := o.scorers.Get().(*transdas.Scorer)
 	o.modelMu.RLock()
+	// Get/Put stay inside the lock: a SwapModel between them would hand
+	// an old-model scorer back to the new model's pool.
+	s := o.scorers.Get().(*transdas.Scorer)
 	dst = s.RankBatchInto(dst, contexts, keys)
-	o.modelMu.RUnlock()
 	o.scorers.Put(s)
+	o.modelMu.RUnlock()
 	return dst
 }
 
 // Detector returns the wrapped trained detector (vocabulary access for
-// live tokenization; do not mutate the model directly).
-func (o *Online) Detector() *core.UCAD { return o.ucad }
+// live tokenization; do not mutate the model directly). Read-locked so
+// a concurrent SwapModel hands back either the old or new detector,
+// never a torn pointer.
+func (o *Online) Detector() *core.UCAD {
+	o.modelMu.RLock()
+	defer o.modelMu.RUnlock()
+	return o.ucad
+}
 
 // Save persists the wrapped detector under the model read-lock, so a
 // checkpoint written while serving (and between fine-tune rounds) is a

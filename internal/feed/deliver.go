@@ -101,19 +101,27 @@ func (d *ServiceDeliverer) Deliver(ctx context.Context, events []serve.Event) er
 // HTTPDeliverer posts event batches to a ucad-serve (or multi-tenant
 // router) /v1/events endpoint. Tenant routing follows the server's
 // precedence: each event's body tenant field wins, the X-UCAD-Tenant
-// header (set from Tenant) covers the rest. Backpressure (503, with
-// Retry-After honored), 429, 502/504 and transport errors are retried
-// with capped exponential backoff until ctx is done; a replayed batch
-// is safe because the server deduplicates by sequence number. Other
-// 5xx statuses (501, 505, ... — usually a misconfigured endpoint, not
-// load) are retried a bounded number of times before failing. A 400 is
-// trusted only when its body carries per-event statuses — then the
-// rejected events are permanently invalid and skipped (counted in the
-// dropped metric) while the accepted ones are done; a 400 without
-// statuses means the body itself was refused (e.g. over the server's
-// request cap) and nothing was absorbed, so it is a hard failure
-// rather than silent loss. Batches whose JSON encoding would exceed
-// the server's request cap are split before posting.
+// header (set from Tenant) covers the rest.
+//
+// Error responses are classified by the structured error envelope
+// ({"error":{"code","message","retryable"}}) when the server sends one:
+// retryable errors (backpressure, shutdown, a draining tenant) are
+// retried with capped exponential backoff and Retry-After honored; a
+// non-retryable error with per-event statuses means the rejected events
+// are permanently invalid and skipped (counted in the dropped metric)
+// while the accepted ones are done; a non-retryable error without
+// statuses (invalid body, unknown tenant) means nothing was absorbed,
+// so it is a hard failure rather than silent loss. A replayed batch is
+// always safe because the server deduplicates by sequence number.
+//
+// Responses without an envelope — pre-envelope servers and
+// intermediaries — fall back to status-code classification: 503 (with
+// Retry-After), 429, 502/504 and transport errors retry indefinitely;
+// other 5xx statuses (501, 505, ... — usually a misconfigured endpoint,
+// not load) retry a bounded number of times before failing; a 400 is
+// trusted only when its body carries per-event statuses. Batches whose
+// JSON encoding would exceed the server's request cap are split before
+// posting.
 type HTTPDeliverer struct {
 	// URL is the server base, e.g. "http://127.0.0.1:8844".
 	URL string
@@ -206,15 +214,52 @@ type permanentError struct{ err error }
 func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
 
+// errorInfo mirrors the unified error envelope's payload
+// (serve.ErrorInfo): code names the rejection, retryable tells the
+// deliverer whether resending the identical batch can ever succeed.
+type errorInfo struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
 // eventsResponse mirrors the /v1/events response shape shared by
-// internal/serve's handler and internal/tenant's router.
+// internal/serve's handler and internal/tenant's router. The top-level
+// "error" key is the envelope object on current servers and a bare
+// string on pre-envelope ones, so it is captured raw and decoded both
+// ways.
 type eventsResponse struct {
-	Accepted int    `json:"accepted"`
-	Error    string `json:"error,omitempty"`
+	Accepted int             `json:"accepted"`
+	RawError json.RawMessage `json:"error,omitempty"`
 	Events   []struct {
-		Status string `json:"status"`
-		Error  string `json:"error,omitempty"`
+		Status    string `json:"status"`
+		Error     string `json:"error,omitempty"`
+		Code      string `json:"code,omitempty"`
+		Retryable bool   `json:"retryable,omitempty"`
 	} `json:"events,omitempty"`
+}
+
+// envelope decodes the structured error envelope, nil when the response
+// carries none (2xx, a pre-envelope server, or a proxy error page).
+func (er *eventsResponse) envelope() *errorInfo {
+	if len(er.RawError) == 0 {
+		return nil
+	}
+	var e errorInfo
+	if json.Unmarshal(er.RawError, &e) != nil || e.Code == "" {
+		return nil
+	}
+	return &e
+}
+
+// legacyError decodes the pre-envelope top-level error string ("" when
+// absent or already an envelope object).
+func (er *eventsResponse) legacyError() string {
+	var s string
+	if json.Unmarshal(er.RawError, &s) == nil {
+		return s
+	}
+	return ""
 }
 
 // postResult classifies one POST attempt: how many events the server
@@ -247,8 +292,7 @@ func (d *HTTPDeliverer) post(ctx context.Context, client *http.Client, body []by
 	var er eventsResponse
 	parsed := json.Unmarshal(rbody, &er) == nil
 
-	switch {
-	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		// A 2xx batch code means no event was rejected, but trust the
 		// per-event statuses when present (a lenient proxy could differ).
 		res.accepted = n
@@ -257,6 +301,42 @@ func (d *HTTPDeliverer) post(ctx context.Context, client *http.Client, body []by
 			res.rejected = n - er.Accepted
 		}
 		return res, nil
+	}
+
+	// Envelope-first: when the response carries the structured error
+	// envelope, its retryable bit is authoritative — the server knows
+	// whether resending this batch can succeed, which a status code
+	// alone can't say (a 503 from a draining tenant and a 503 from a
+	// broken proxy look identical on the wire).
+	if parsed {
+		if env := er.envelope(); env != nil {
+			if env.Retryable {
+				if s := resp.Header.Get("Retry-After"); s != "" {
+					if secs, err := strconv.Atoi(s); err == nil {
+						res.retryAfter = time.Duration(secs) * time.Second
+					}
+				}
+				return res, fmt.Errorf("feed: server busy (%s): %s", env.Code, resp.Status)
+			}
+			if len(er.Events) > 0 {
+				// Per-event statuses with a non-retryable batch code: the
+				// server attempted every event (retryable rejections would
+				// have outranked these in the batch code), so the rejected
+				// events can never become valid — skip them.
+				res.accepted = er.Accepted
+				res.rejected = n - er.Accepted
+				return res, nil
+			}
+			// Non-retryable without per-event statuses (invalid_body,
+			// unknown_tenant, ...): nothing was absorbed, so "done" would
+			// be silent loss.
+			return res, &permanentError{fmt.Errorf("feed: server rejected request (%s): %s: %.200s", env.Code, resp.Status, env.Message)}
+		}
+	}
+
+	// No envelope (a pre-envelope server, a proxy error page, a truncated
+	// body): fall back to classifying by status code.
+	switch {
 	case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests ||
 		resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusGatewayTimeout:
 		if s := resp.Header.Get("Retry-After"); s != "" {
@@ -280,7 +360,7 @@ func (d *HTTPDeliverer) post(ctx context.Context, client *http.Client, body []by
 		}
 		// Decode-level 400 (oversized body, proxy rejection, ...): the
 		// server absorbed nothing, so "done" would be silent loss.
-		reason := er.Error
+		reason := er.legacyError()
 		if reason == "" {
 			reason = string(rbody)
 		}

@@ -284,6 +284,22 @@ func (a *Assembler) SetSeqFloor(n int) {
 	}
 }
 
+// Rekey re-tokenizes every open session's statements with a new
+// vocabulary (hot model swap): the key windows handed to scorers from
+// now on must rank against the model that replaced the old one. Ops
+// keep their stored SQL text, so the mapping is exact, not approximate.
+func (a *Assembler) Rekey(key func(sql string) int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, os := range a.open {
+		for i := range os.sess.Ops {
+			k := key(os.sess.Ops[i].SQL)
+			os.sess.Ops[i].Key = k
+			os.keys[i] = k
+		}
+	}
+}
+
 // bumpSeqLocked parses the trailing "#<n>" of a restored session id and
 // raises the counter past it.
 func (a *Assembler) bumpSeqLocked(id string) {

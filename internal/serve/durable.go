@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"github.com/ucad/ucad/internal/core"
@@ -15,11 +17,18 @@ import (
 // DurabilityConfig enables crash-safe serving: every accepted event is
 // appended to a write-ahead log before the ingest call returns, open
 // sessions are periodically snapshotted, and a restarted Service
-// rebuilds the assembler from "newest snapshot + WAL suffix" — the
+// rebuilds the assemblers from "newest snapshot + WAL suffix" — the
 // long-lived streaming state the paper's whole-session detector depends
 // on survives a deploy or a kill -9.
+//
+// The WAL directory holds one stream per ingest shard
+// (wal-shard-NN-*.log / snap-shard-NN-*.snap) named by a layout
+// manifest (wal.Manifest). Restore replays the streams in parallel and,
+// when the on-disk shard count differs from the configured one —
+// including the pre-sharding v1 single-stream layout — migrates through
+// the crash-safe remap protocol documented in internal/wal.
 type DurabilityConfig struct {
-	// Dir holds the WAL segments and snapshots.
+	// Dir holds the WAL segments, snapshots and the layout manifest.
 	Dir string
 	// Fsync selects when appended records reach stable storage (see
 	// wal.SyncPolicy). Under SyncAlways an acknowledged event is
@@ -44,14 +53,17 @@ type DurabilityConfig struct {
 type RestoreStats struct {
 	// Sessions is the number of open sessions restored.
 	Sessions int
-	// Records is the number of WAL records replayed on the snapshot.
+	// Records is the number of WAL records replayed, summed over every
+	// shard stream.
 	Records int
-	// SnapshotSeq anchors the restored snapshot (0 = none found).
+	// SnapshotSeq is the highest snapshot anchor across the restored
+	// streams (0 = none found).
 	SnapshotSeq uint64
-	// CleanSeal reports whether the log ended with a clean-shutdown seal
-	// record; false means the previous process crashed.
+	// CleanSeal reports whether every stream ended with a
+	// clean-shutdown seal record; false means the previous process
+	// crashed (or the layout was just migrated).
 	CleanSeal bool
-	// TornTail reports whether a crash tail was truncated.
+	// TornTail reports whether a crash tail was truncated on any stream.
 	TornTail bool
 }
 
@@ -80,60 +92,97 @@ type walRecord struct {
 	Seq   int64 `json:"n,omitempty"`
 }
 
-// snapState is the snapshot payload: the assembler's full open-session
-// state plus the session-id counter.
+// snapState is a snapshot payload: open-session state plus the
+// session-id counter. A shard stream's snapshot holds that shard's
+// sessions; the remap staging file holds the merged state of every
+// shard. Both decode identically — the payload is layout-independent,
+// sessions re-route by client hash on restore.
 type snapState struct {
 	Seq      int            `json:"seq"`
 	Sessions []SessionState `json:"sessions"`
 }
 
-// Restore opens the durability layer and rebuilds the assembler from
-// the newest valid snapshot plus the WAL suffix. It must be called
-// (once) before Start and before the first Ingest; without it a
-// durability-configured Service rejects events with ErrNotReady so no
-// accepted event can ever bypass the log. With Config.Durability nil it
-// is a no-op.
+// Restore opens the durability layer and rebuilds the assemblers from
+// each shard stream's newest valid snapshot plus its WAL suffix,
+// replaying the streams in parallel. It must be called (once) before
+// Start and before the first Ingest; without it a durability-configured
+// Service rejects events with ErrNotReady so no accepted event can ever
+// bypass the log. With Config.Durability nil it is a no-op.
+//
+// When the directory's layout differs from the configured shard count —
+// a resize, or a v1 single-stream directory from before sharding —
+// Restore recovers the old layout first, then migrates it with the
+// staged remap protocol: the merged state is durably written to
+// wal.RemapFile, the manifest flips to remap:true (the commit point),
+// the old stream files are deleted and fresh per-shard streams are
+// seeded. A crash at any step either recovers the old layout untouched
+// or resumes from the staging file.
 func (s *Service) Restore() (RestoreStats, error) {
 	var st RestoreStats
 	d := s.cfg.Durability
 	if d == nil {
 		return st, nil
 	}
-	if s.store.Load() != nil {
+	if !s.restoreOnce.CompareAndSwap(false, true) {
 		return st, fmt.Errorf("serve: Restore called twice")
 	}
-	m := s.metrics
-	store, err := wal.OpenStore(d.Dir, wal.Options{
-		SegmentBytes: d.SegmentBytes,
-		Sync:         d.Fsync,
-		SyncInterval: d.FsyncInterval,
-		OnAppend:     func(int) { m.walAppends.Inc() },
-		OnSync:       func(took time.Duration) { m.walFsyncSeconds.Observe(took.Seconds()) },
-	})
+	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return st, err
+	}
+	n := len(s.shards)
+	man, ok, err := wal.LoadManifest(d.Dir)
 	if err != nil {
 		return st, err
 	}
-	rec, err := store.Recover(s.restoreSnapshot, func(b []byte) error {
-		var r walRecord
-		if err := json.Unmarshal(b, &r); err != nil {
-			// An undecodable-but-checksummed record is a version skew
-			// bug, not a torn tail; surface it.
-			return fmt.Errorf("serve: undecodable wal record: %w", err)
+	switch {
+	case !ok:
+		legacy, lerr := wal.HasLegacyStream(d.Dir)
+		if lerr != nil {
+			return st, lerr
 		}
-		s.replayRecord(r, &st)
-		return nil
-	})
-	if err != nil {
-		store.Close()
-		return st, err
+		if legacy {
+			// v1 upgrade: read the single unprefixed stream, then migrate
+			// it onto the sharded layout.
+			if err := s.recoverStreams(d, 1, true, false, &st); err != nil {
+				return st, err
+			}
+			if err := s.remapTo(d, 0); err != nil {
+				return st, err
+			}
+		} else {
+			// Fresh directory: name the layout, then open empty streams.
+			if err := wal.SaveManifest(d.Dir, wal.Manifest{Version: wal.ManifestVersion, Shards: n}); err != nil {
+				return st, err
+			}
+			if err := s.recoverStreams(d, n, false, true, &st); err != nil {
+				return st, err
+			}
+		}
+	case man.Remap:
+		if err := s.resumeRemap(d, man); err != nil {
+			return st, err
+		}
+	case man.Shards == n:
+		if err := s.recoverStreams(d, n, false, true, &st); err != nil {
+			return st, err
+		}
+		// A remap that crashed before its manifest flip may have left a
+		// staging file behind; the old layout is authoritative.
+		os.Remove(filepath.Join(d.Dir, wal.RemapFile))
+	default:
+		// Shard-count resize: recover the old layout into the (new)
+		// hash-routed shards, then migrate the streams.
+		if err := s.recoverStreams(d, man.Shards, false, false, &st); err != nil {
+			return st, err
+		}
+		if err := s.remapTo(d, man.Shards); err != nil {
+			return st, err
+		}
 	}
-	st.Records = rec.Records
-	st.SnapshotSeq = rec.SnapshotSeq
-	st.TornTail = rec.TornTail
-	st.Sessions = s.asm.OpenCount()
+	st.Sessions = s.openCount()
 	s.recovered.Store(int64(st.Sessions))
 	s.ckpts = d.Checkpoints
-	s.store.Store(store)
+	s.ready.Store(true)
 	if d.SnapshotEvery > 0 {
 		s.snapStop = make(chan struct{})
 		s.snapDone = make(chan struct{})
@@ -142,48 +191,233 @@ func (s *Service) Restore() (RestoreStats, error) {
 	return st, nil
 }
 
-// restoreSnapshot rebuilds the assembler from a snapshot payload,
+// walOptions builds one stream's open options (shard prefixes are set
+// by the caller; the zero value names the legacy v1 stream).
+func (s *Service) walOptions(d *DurabilityConfig) wal.Options {
+	m := s.metrics
+	return wal.Options{
+		SegmentBytes: d.SegmentBytes,
+		Sync:         d.Fsync,
+		SyncInterval: d.FsyncInterval,
+		OnAppend:     func(int) { m.walAppends.Inc() },
+		OnSync:       func(took time.Duration) { m.walFsyncSeconds.Observe(took.Seconds()) },
+	}
+}
+
+// recoverStreams opens and recovers m streams concurrently, routing
+// every restored session and replayed record to the shard its client
+// hashes to (a client's records live entirely within one stream — the
+// writer hashed with the same function — so per-client replay order is
+// preserved; the assemblers serialize concurrent mutation internally).
+// With keep the stores are installed as the shards' streams (valid only
+// when m equals the shard count and the prefixes match); otherwise they
+// are closed after recovery — the remap path reopens fresh ones.
+func (s *Service) recoverStreams(d *DurabilityConfig, m int, legacy, keep bool, st *RestoreStats) error {
+	stores := make([]*wal.Store, m)
+	stats := make([]RestoreStats, m)
+	recs := make([]wal.RecoverStats, m)
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opt := s.walOptions(d)
+			if !legacy {
+				opt.SegmentPrefix = wal.ShardSegmentPrefix(i)
+				opt.SnapshotPrefix = wal.ShardSnapshotPrefix(i)
+			}
+			store, err := wal.OpenStore(d.Dir, opt)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			stores[i] = store
+			recs[i], errs[i] = store.Recover(s.restoreSnapshot, func(b []byte) error {
+				var r walRecord
+				if err := json.Unmarshal(b, &r); err != nil {
+					// An undecodable-but-checksummed record is a version
+					// skew bug, not a torn tail; surface it.
+					return fmt.Errorf("serve: undecodable wal record: %w", err)
+				}
+				s.replayRecord(r, &stats[i])
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, store := range stores {
+				if store != nil {
+					store.Close()
+				}
+			}
+			return err
+		}
+	}
+	st.CleanSeal = true
+	for i := range recs {
+		st.Records += recs[i].Records
+		if recs[i].SnapshotSeq > st.SnapshotSeq {
+			st.SnapshotSeq = recs[i].SnapshotSeq
+		}
+		st.TornTail = st.TornTail || recs[i].TornTail
+		st.CleanSeal = st.CleanSeal && stats[i].CleanSeal
+	}
+	if keep {
+		for i, sh := range s.shards {
+			sh.store = stores[i]
+		}
+		return nil
+	}
+	for _, store := range stores {
+		store.Close()
+	}
+	return nil
+}
+
+// remapTo migrates the in-memory state (just recovered from an old
+// layout of `from` streams; 0 = v1) onto the configured shard count.
+// The staged state file plus the remap-flagged manifest form the commit
+// point; see the protocol notes in internal/wal/manifest.go.
+func (s *Service) remapTo(d *DurabilityConfig, from int) error {
+	seq, sessions := s.exportAll()
+	b, err := json.Marshal(snapState{Seq: seq, Sessions: sessions})
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteStateFile(filepath.Join(d.Dir, wal.RemapFile), b); err != nil {
+		return err
+	}
+	if err := wal.SaveManifest(d.Dir, wal.Manifest{
+		Version: wal.ManifestVersion, Shards: len(s.shards), Remap: true, From: from,
+	}); err != nil {
+		return err
+	}
+	return s.finishRemap(d)
+}
+
+// resumeRemap finishes a migration a crash interrupted past its commit
+// point: the staging file is authoritative (the old streams may be
+// partially deleted). A boot configured for a different shard count
+// than the interrupted migration targeted simply retargets — the staged
+// payload is layout-independent.
+func (s *Service) resumeRemap(d *DurabilityConfig, man wal.Manifest) error {
+	b, err := wal.ReadStateFile(filepath.Join(d.Dir, wal.RemapFile))
+	if err != nil {
+		return fmt.Errorf("serve: remap staging file unreadable: %w", err)
+	}
+	if err := s.restoreSnapshot(b); err != nil {
+		return err
+	}
+	if n := len(s.shards); n != man.Shards {
+		if err := wal.SaveManifest(d.Dir, wal.Manifest{
+			Version: wal.ManifestVersion, Shards: n, Remap: true, From: man.From,
+		}); err != nil {
+			return err
+		}
+	}
+	return s.finishRemap(d)
+}
+
+// finishRemap runs the post-commit steps of a migration: delete every
+// old stream file, open fresh per-shard streams, seed each with its
+// shard's snapshot, clear the manifest's remap flag and drop the
+// staging file. Idempotent — a crash anywhere here re-runs it from the
+// staging file on the next boot.
+func (s *Service) finishRemap(d *DurabilityConfig) error {
+	closeOpened := func() {
+		for _, sh := range s.shards {
+			if sh.store != nil {
+				sh.store.Close()
+				sh.store = nil
+			}
+		}
+	}
+	if err := wal.RemoveAllStreams(d.Dir); err != nil {
+		return err
+	}
+	for i, sh := range s.shards {
+		opt := s.walOptions(d)
+		opt.SegmentPrefix = wal.ShardSegmentPrefix(i)
+		opt.SnapshotPrefix = wal.ShardSnapshotPrefix(i)
+		store, err := wal.OpenStore(d.Dir, opt)
+		if err != nil {
+			closeOpened()
+			return err
+		}
+		sh.store = store
+	}
+	for _, sh := range s.shards {
+		seq, sessions := sh.asm.Export()
+		b, err := json.Marshal(snapState{Seq: seq, Sessions: sessions})
+		if err != nil {
+			closeOpened()
+			return err
+		}
+		if err := sh.store.Snapshot(b); err != nil {
+			closeOpened()
+			return err
+		}
+	}
+	if err := wal.SaveManifest(d.Dir, wal.Manifest{Version: wal.ManifestVersion, Shards: len(s.shards)}); err != nil {
+		closeOpened()
+		return err
+	}
+	os.Remove(filepath.Join(d.Dir, wal.RemapFile))
+	return nil
+}
+
+// restoreSnapshot rebuilds assembler state from a snapshot payload,
+// routing each session to the shard its client hashes to and
 // re-tokenizing every statement with the trained vocabulary (the
 // vocabulary is fixed after training, so the key windows come back
-// byte-exact).
+// byte-exact). The session-id floor applies to every shard — ids must
+// stay unique across any past or future layout.
 func (s *Service) restoreSnapshot(b []byte) error {
 	var snap snapState
 	if err := json.Unmarshal(b, &snap); err != nil {
 		return fmt.Errorf("serve: undecodable snapshot: %w", err)
 	}
+	key := s.model.Load().ucad.Vocab.Key
 	for _, ss := range snap.Sessions {
 		keys := make([]int, len(ss.Ops))
 		for i := range ss.Ops {
-			keys[i] = s.ucad.Vocab.Key(ss.Ops[i].SQL)
+			keys[i] = key(ss.Ops[i].SQL)
 			ss.Ops[i].Key = keys[i]
 		}
-		s.asm.Restore(ss, keys)
+		s.shardFor(ss.Client).asm.Restore(ss, keys)
 	}
-	s.asm.SetSeqFloor(snap.Seq)
+	for _, sh := range s.shards {
+		sh.asm.SetSeqFloor(snap.Seq)
+	}
 	return nil
 }
 
-// replayRecord applies one WAL record on top of the restored snapshot.
-// Application is idempotent (see Assembler.ReplayAppend), so records
-// the snapshot already covers are dropped, never duplicated.
+// replayRecord applies one WAL record on top of the restored snapshot,
+// routed by client hash. Application is idempotent (see
+// Assembler.ReplayAppend), so records the snapshot already covers are
+// dropped, never duplicated.
 func (s *Service) replayRecord(r walRecord, st *RestoreStats) {
 	switch r.T {
 	case recEvent:
-		key := s.ucad.Vocab.Key(r.SQL)
-		s.asm.ReplayAppend(r.Client, r.SID, r.Pos, session.Operation{
+		key := s.model.Load().ucad.Vocab.Key(r.SQL)
+		s.shardFor(r.Client).asm.ReplayAppend(r.Client, r.SID, r.Pos, session.Operation{
 			Time: r.TS, User: r.User, Addr: r.Addr, SQL: r.SQL,
 		}, key, r.Epoch, r.Seq)
 	case recClose:
-		s.asm.ReplayClose(r.Client, r.SID)
+		s.shardFor(r.Client).asm.ReplayClose(r.Client, r.SID)
 	case recRollback:
-		s.asm.ReplayRollback(r.Client, r.SID, r.Pos)
+		s.shardFor(r.Client).asm.ReplayRollback(r.Client, r.SID, r.Pos)
 	case recSeal:
 		st.CleanSeal = true
 	}
 }
 
-// appendWAL marshals and appends one record; the caller holds durMu
-// when the record must stay ordered with an assembler mutation.
+// appendWAL marshals and appends one record; the caller holds the
+// shard's durMu when the record must stay ordered with an assembler
+// mutation.
 func (s *Service) appendWAL(store *wal.Store, r walRecord) error {
 	b, err := json.Marshal(r)
 	if err != nil {
@@ -194,91 +428,118 @@ func (s *Service) appendWAL(store *wal.Store, r walRecord) error {
 
 // ingestDurable is Ingest's assemble-and-log step when durability is
 // on: the assembler mutation and its WAL record happen atomically with
-// respect to snapshot capture (durMu), and the record is durable per
-// the fsync policy before the event is acknowledged. A WAL write
-// failure undoes the append and rejects the event — nothing enters a
-// session that the log cannot replay.
-func (s *Service) ingestDurable(store *wal.Store, ev Event, key int) (Appended, error) {
+// respect to snapshot capture (the shard's durMu), and the record is
+// durable per the fsync policy before the event is acknowledged. A WAL
+// write failure undoes the append and rejects the event — nothing
+// enters a session that the log cannot replay.
+func (s *Service) ingestDurable(sh *shard, ev Event, key, window int) (Appended, error) {
 	client := ev.Client()
-	s.durMu.Lock()
-	ap := s.asm.Append(ev, key, s.window+1)
+	sh.durMu.Lock()
+	ap := sh.asm.Append(ev, key, window+1)
 	if ap.Dup {
 		// A redelivery mutated nothing, so there is nothing to log: the
 		// original append's WAL record already covers this position.
-		s.durMu.Unlock()
+		sh.durMu.Unlock()
 		return ap, nil
 	}
-	err := s.appendWAL(store, walRecord{
+	err := s.appendWAL(sh.store, walRecord{
 		T: recEvent, Client: client, SID: ap.SessionID, Pos: ap.Pos,
 		User: ev.User, Addr: ev.Addr, SQL: ev.SQL, TS: ap.Time,
 		Epoch: ev.Epoch, Seq: ev.Seq,
 	})
 	if err != nil {
-		s.asm.Rollback(client, ap.Pos)
-		s.durMu.Unlock()
+		sh.asm.Rollback(client, ap.Pos)
+		sh.durMu.Unlock()
 		return ap, fmt.Errorf("serve: wal append: %w", err)
 	}
-	s.durMu.Unlock()
+	sh.durMu.Unlock()
 	return ap, nil
 }
 
 // rollbackLogged undoes the tail operation after a scoring-queue
 // rejection, logging the rollback so recovery replays the undo too.
-func (s *Service) rollbackLogged(client, sessionID string, pos int) {
-	store := s.store.Load()
-	if store == nil {
-		s.asm.Rollback(client, pos)
+func (s *Service) rollbackLogged(sh *shard, client, sessionID string, pos int) {
+	if sh.store == nil {
+		sh.asm.Rollback(client, pos)
 		return
 	}
-	s.durMu.Lock()
-	if s.asm.Rollback(client, pos) {
-		s.appendWAL(store, walRecord{T: recRollback, Client: client, SID: sessionID, Pos: pos})
+	sh.durMu.Lock()
+	if sh.asm.Rollback(client, pos) {
+		s.appendWAL(sh.store, walRecord{T: recRollback, Client: client, SID: sessionID, Pos: pos})
 	}
-	s.durMu.Unlock()
+	sh.durMu.Unlock()
 }
 
-// closeLogged runs the given assembler close-out under durMu and logs
-// one close record per closed session, so recovery never resurrects a
+// closeAllLogged closes sessions shard by shard — all of them, or only
+// those idle past the timeout — logging one close record per closed
+// session under the shard's durMu, so recovery never resurrects a
 // session that already received its authoritative verdict.
-func (s *Service) closeLogged(close func() []Closed) []Closed {
-	store := s.store.Load()
-	if store == nil {
-		return close()
+func (s *Service) closeAllLogged(idleOnly bool) []Closed {
+	var all []Closed
+	for _, sh := range s.shards {
+		sh.durMu.Lock()
+		var closed []Closed
+		if idleOnly {
+			closed = sh.asm.CloseIdle()
+		} else {
+			closed = sh.asm.CloseAll()
+		}
+		if sh.store != nil {
+			for _, c := range closed {
+				s.appendWAL(sh.store, walRecord{T: recClose, Client: c.Client, SID: c.Session.ID})
+			}
+		}
+		sh.durMu.Unlock()
+		all = append(all, closed...)
 	}
-	s.durMu.Lock()
-	closed := close()
-	for _, c := range closed {
-		s.appendWAL(store, walRecord{T: recClose, Client: c.Client, SID: c.Session.ID})
-	}
-	s.durMu.Unlock()
-	return closed
+	return all
 }
 
-// SnapshotNow captures the assembler's open sessions and commits them
-// as a durable snapshot, pruning WAL segments the snapshot supersedes.
-// No-op without durability.
+// SnapshotNow captures every shard's open sessions under a
+// stop-the-world barrier (all shard durMus, acquired in index order)
+// and commits one durable snapshot per stream, pruning the WAL segments
+// each snapshot supersedes. Only the capture and segment rotation
+// happen inside the barrier; serialization and the commit fsyncs run
+// off the ingest path. No-op without durability.
 func (s *Service) SnapshotNow() error {
-	store := s.store.Load()
-	if store == nil {
+	if !s.ready.Load() {
 		return nil
 	}
 	t := obs.StartTimer(s.metrics.snapshotSeconds)
 	defer t.Stop()
-	// State capture and segment rotation are atomic with respect to
-	// appends (durMu), pinning the snapshot to an exact log position;
-	// the serialization and commit fsync happen off the ingest path.
-	s.durMu.Lock()
-	seq, sessions := s.asm.Export()
-	anchor, err := store.BeginSnapshot()
-	s.durMu.Unlock()
+	type cut struct {
+		anchor uint64
+		state  snapState
+	}
+	cuts := make([]cut, len(s.shards))
+	var err error
+	for _, sh := range s.shards {
+		sh.durMu.Lock()
+	}
+	for i, sh := range s.shards {
+		seq, sessions := sh.asm.Export()
+		var anchor uint64
+		if anchor, err = sh.store.BeginSnapshot(); err != nil {
+			break
+		}
+		cuts[i] = cut{anchor: anchor, state: snapState{Seq: seq, Sessions: sessions}}
+	}
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].durMu.Unlock()
+	}
 	if err != nil {
 		return err
 	}
-	b, err := json.Marshal(snapState{Seq: seq, Sessions: sessions})
-	if err != nil {
-		return err
+	for i, sh := range s.shards {
+		b, merr := json.Marshal(cuts[i].state)
+		if merr != nil {
+			return merr
+		}
+		if cerr := sh.store.CommitSnapshot(cuts[i].anchor, b); cerr != nil {
+			return cerr
+		}
 	}
-	return store.CommitSnapshot(anchor, b)
+	return nil
 }
 
 func (s *Service) snapshotLoop(every time.Duration) {
@@ -295,27 +556,31 @@ func (s *Service) snapshotLoop(every time.Duration) {
 	}
 }
 
-// sealAndCloseStore takes the final snapshot, appends the clean-seal
-// record and closes the log (shutdown tail of Close/Stop).
+// sealAndCloseStore takes the final snapshot, appends each stream's
+// clean-seal record and closes the logs (shutdown tail of Close/Stop).
 func (s *Service) sealAndCloseStore() error {
-	store := s.store.Load()
-	if store == nil {
+	if !s.ready.Load() {
 		return nil
 	}
 	err := s.SnapshotNow()
-	if serr := s.appendWAL(store, walRecord{T: recSeal}); err == nil {
-		err = serr
-	}
-	if cerr := store.Close(); err == nil {
-		err = cerr
+	for _, sh := range s.shards {
+		if serr := s.appendWAL(sh.store, walRecord{T: recSeal}); err == nil {
+			err = serr
+		}
+		if cerr := sh.store.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }
 
-// checkpointModel writes an atomic model checkpoint after a fine-tune
-// round and validates it by loading it back; a checkpoint core.Load
-// rejects is rolled back so the manifest always points at a loadable
-// model. Runs on the retraining goroutine.
+// CheckpointModel writes an atomic model checkpoint and validates it by
+// loading it back; a checkpoint core.Load rejects is rolled back so the
+// manifest always points at a loadable model. Called after fine-tune
+// rounds and after an admin hot model swap. No-op without a configured
+// Checkpoints store.
+func (s *Service) CheckpointModel() { s.checkpointModel() }
+
 func (s *Service) checkpointModel() {
 	if s.ckpts == nil {
 		return

@@ -21,9 +21,9 @@ import (
 func durableService(t *testing.T, u *core.UCAD, dir string, clock func() time.Time, mutate func(*Config)) (*Service, RestoreStats) {
 	t.Helper()
 	cfg := Config{
-		Workers:   2,
+		Workers:    2,
 		SweepEvery: -1,
-		Clock:     clock,
+		Clock:      clock,
 		Durability: &DurabilityConfig{
 			Dir:   dir,
 			Fsync: wal.SyncAlways,
@@ -44,7 +44,7 @@ func durableService(t *testing.T, u *core.UCAD, dir string, clock func() time.Ti
 // exportedState strips the volatile LastSeen so restored state can be
 // compared against an uninterrupted control run.
 func exportedState(s *Service) (int, []SessionState) {
-	seq, st := s.asm.Export()
+	seq, st := s.exportAll()
 	for i := range st {
 		st[i].LastSeen = time.Time{}
 	}

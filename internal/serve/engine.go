@@ -43,22 +43,30 @@ type Result struct {
 	Rank int
 }
 
-// Engine is a bounded worker pool scoring jobs against a Ranker.
-// Submit never blocks: when the queue is full it fails fast with
-// ErrBusy so the ingestion layer can push backpressure to clients.
-// Workers drain the queue in micro-batches and score each one with a
-// single fused RankBatch call — one stacked forward pass per drain —
-// reusing per-worker batch scratch so the hot path does not allocate
-// per operation.
+// Engine is a sharded worker pool scoring jobs against a Ranker. Each
+// ingest shard owns its own bounded queue, so submitters on different
+// shards never contend on one channel; Submit never blocks — a full
+// shard queue fails fast with ErrBusy so the ingestion layer can push
+// backpressure to clients. Workers are distributed across the shard
+// queues (at least one per queue) and drain them in micro-batches,
+// scoring each batch with a single fused RankBatch call; a semaphore
+// caps concurrent scoring at the configured worker count even when
+// shards outnumber workers.
 type Engine struct {
 	ranker   Ranker
 	batch    int
-	queue    chan Job
+	queues   []chan Job
+	sem      chan struct{} // caps concurrent RankBatch passes at Workers
 	onResult func(Result)
+	nworkers int
 
 	mu     sync.RWMutex // guards closed vs Submit
 	closed bool
 
+	// start defers worker spawning to the first Submit so the
+	// instrument/instrumentShards writes (which workers read without a
+	// lock) happen-before any worker goroutine exists.
+	start    sync.Once
 	workers  sync.WaitGroup
 	inflight sync.WaitGroup
 
@@ -66,17 +74,22 @@ type Engine struct {
 	rejected atomic.Int64
 
 	// Optional stage instrumentation (nil when uninstrumented); set via
-	// instrument before any Submit.
+	// instrument/instrumentShards before any Submit.
 	queueWait *obs.Histogram
 	scoreLat  *obs.Histogram
 	batchSize *obs.Histogram
+	shardWait []*obs.Histogram // per-shard queue wait, index-aligned with queues
 }
 
-// NewEngine builds an engine with the given worker count, queue
-// capacity and micro-batch size (values < 1 are raised to 1). onResult
-// is invoked from worker goroutines for every scored job and must be
-// safe for concurrent use.
-func NewEngine(r Ranker, workers, queueSize, batch int, onResult func(Result)) *Engine {
+// NewEngine builds an engine with the given shard, worker, total queue
+// capacity and micro-batch sizes (values < 1 are raised to 1; the
+// capacity is split evenly across shard queues). onResult is invoked
+// from worker goroutines for every scored job and must be safe for
+// concurrent use.
+func NewEngine(r Ranker, shards, workers, queueSize, batch int, onResult func(Result)) *Engine {
+	if shards < 1 {
+		shards = 1
+	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -89,17 +102,41 @@ func NewEngine(r Ranker, workers, queueSize, batch int, onResult func(Result)) *
 	if onResult == nil {
 		onResult = func(Result) {}
 	}
+	perQueue := queueSize / shards
+	if perQueue < 1 {
+		perQueue = 1
+	}
 	e := &Engine{
 		ranker:   r,
 		batch:    batch,
-		queue:    make(chan Job, queueSize),
+		queues:   make([]chan Job, shards),
+		sem:      make(chan struct{}, workers),
 		onResult: onResult,
 	}
-	for i := 0; i < workers; i++ {
-		e.workers.Add(1)
-		go e.worker()
+	for i := range e.queues {
+		e.queues[i] = make(chan Job, perQueue)
 	}
+	e.nworkers = workers
 	return e
+}
+
+// spawn starts the worker pool, distributing workers across the shard
+// queues (at least one drainer per queue).
+func (e *Engine) spawn() {
+	shards, workers := len(e.queues), e.nworkers
+	for i := 0; i < shards; i++ {
+		nw := workers / shards
+		if i < workers%shards {
+			nw++
+		}
+		if nw < 1 {
+			nw = 1
+		}
+		for w := 0; w < nw; w++ {
+			e.workers.Add(1)
+			go e.worker(i)
+		}
+	}
 }
 
 // instrument attaches the per-stage latency histograms (queue wait,
@@ -110,18 +147,25 @@ func (e *Engine) instrument(queueWait, scoreLat, batchSize *obs.Histogram) {
 	e.batchSize = batchSize
 }
 
-// Submit enqueues a job, failing fast with ErrBusy when the queue is
-// full or ErrStopped after Stop.
-func (e *Engine) Submit(j Job) error {
+// instrumentShards attaches per-shard queue-wait histograms
+// (index-aligned with the shard queues). Call before the first Submit.
+func (e *Engine) instrumentShards(waits []*obs.Histogram) {
+	e.shardWait = waits
+}
+
+// Submit enqueues a job on its shard's queue, failing fast with ErrBusy
+// when that queue is full or ErrStopped after Stop.
+func (e *Engine) Submit(shard int, j Job) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return ErrStopped
 	}
+	e.start.Do(e.spawn)
 	j.enqueuedAt = time.Now()
 	e.inflight.Add(1)
 	select {
-	case e.queue <- j:
+	case e.queues[shard%len(e.queues)] <- j:
 		return nil
 	default:
 		e.inflight.Done()
@@ -141,34 +185,54 @@ func (e *Engine) Stop() {
 	e.mu.Lock()
 	if !e.closed {
 		e.closed = true
-		close(e.queue)
+		for _, q := range e.queues {
+			close(q)
+		}
 	}
 	e.mu.Unlock()
 	e.workers.Wait()
 }
 
-// QueueDepth reports the number of queued-but-unstarted jobs.
-func (e *Engine) QueueDepth() int { return len(e.queue) }
+// QueueDepth reports the number of queued-but-unstarted jobs across
+// every shard queue.
+func (e *Engine) QueueDepth() int {
+	n := 0
+	for _, q := range e.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// ShardQueueDepth reports one shard queue's queued-but-unstarted jobs.
+func (e *Engine) ShardQueueDepth(shard int) int { return len(e.queues[shard%len(e.queues)]) }
+
+// Shards reports the number of shard queues.
+func (e *Engine) Shards() int { return len(e.queues) }
 
 // Counts reports lifetime scored and rejected job counts.
 func (e *Engine) Counts() (scored, rejected int64) {
 	return e.scored.Load(), e.rejected.Load()
 }
 
-func (e *Engine) worker() {
+func (e *Engine) worker(shard int) {
 	defer e.workers.Done()
+	queue := e.queues[shard]
+	var wait *obs.Histogram
+	if e.shardWait != nil {
+		wait = e.shardWait[shard]
+	}
 	batch := make([]Job, 0, e.batch)
 	ctxs := make([][]int, 0, e.batch)
 	keys := make([]int, 0, e.batch)
 	ranks := make([]int, 0, e.batch)
-	for j := range e.queue {
+	for j := range queue {
 		batch = append(batch[:0], j)
 	fill:
 		// Micro-batch: opportunistically drain more queued jobs so a
 		// burst is fused into one stacked forward pass.
 		for len(batch) < e.batch {
 			select {
-			case j2, ok := <-e.queue:
+			case j2, ok := <-queue:
 				if !ok {
 					break fill
 				}
@@ -180,10 +244,16 @@ func (e *Engine) worker() {
 		if e.batchSize != nil {
 			e.batchSize.Observe(float64(len(batch)))
 		}
-		if e.queueWait != nil {
+		if e.queueWait != nil || wait != nil {
 			now := time.Now()
 			for _, job := range batch {
-				e.queueWait.Observe(now.Sub(job.enqueuedAt).Seconds())
+				took := now.Sub(job.enqueuedAt).Seconds()
+				if e.queueWait != nil {
+					e.queueWait.Observe(took)
+				}
+				if wait != nil {
+					wait.Observe(took)
+				}
 			}
 		}
 		ctxs, keys = ctxs[:0], keys[:0]
@@ -192,6 +262,10 @@ func (e *Engine) worker() {
 			ctxs = append(ctxs, job.Keys[:n-1])
 			keys = append(keys, job.Keys[n-1])
 		}
+		// The semaphore bounds concurrent scoring at the worker count:
+		// with more shard queues than workers, drainers beyond the cap
+		// wait here instead of oversubscribing the cores.
+		e.sem <- struct{}{}
 		var t obs.Timer
 		if e.scoreLat != nil {
 			t = obs.StartTimer(e.scoreLat)
@@ -200,6 +274,7 @@ func (e *Engine) worker() {
 		if e.scoreLat != nil {
 			t.Stop()
 		}
+		<-e.sem
 		for i, job := range batch {
 			e.scored.Add(1)
 			e.onResult(Result{Job: job, Rank: ranks[i]})

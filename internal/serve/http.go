@@ -17,7 +17,9 @@ import (
 //	GET  /stats                  serving counters (JSON)
 //	GET  /metrics                Prometheus text exposition
 //
-// A full scoring queue answers 503 with Retry-After — the backpressure
+// Every non-2xx response carries the unified error envelope
+// {"error":{"code","message","retryable"}} (see envelope.go). A full
+// scoring queue answers 503 with Retry-After — the backpressure
 // contract: the rejected events were rolled back and are safe to
 // resend.
 func (s *Service) Handler() http.Handler {
@@ -37,30 +39,43 @@ func (s *Service) Handler() http.Handler {
 
 // eventStatus is one event's outcome within a batched submission.
 type eventStatus struct {
-	Status string `json:"status"`          // "accepted" or "rejected"
-	Error  string `json:"error,omitempty"` // rejection reason
+	Status string `json:"status"` // "accepted" or "rejected"
+	// Error is the legacy rejection-reason string.
+	//
+	// Deprecated: read Code/Retryable instead; Error remains one release
+	// behind the envelope migration and will be dropped.
+	Error string `json:"error,omitempty"`
+	// Code is the envelope taxonomy code of the rejection (empty when
+	// accepted).
+	Code string `json:"code,omitempty"`
+	// Retryable reports whether resending this exact event can succeed.
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 // eventsResponse reports how much of a submission was absorbed. Array
 // submissions carry one per-event status in submission order, so a
 // partially rejected batch tells the client exactly which events to
 // resend; single-object submissions keep the original shape (no Events
-// list) for backward compatibility.
+// list) for backward compatibility. The top-level "error" key carries
+// the unified envelope object (it was a bare string before the
+// envelope migration — the one intentional break).
 type eventsResponse struct {
 	Accepted int           `json:"accepted"`
-	Error    string        `json:"error,omitempty"`
+	Err      *ErrorInfo    `json:"error,omitempty"`
 	Events   []eventStatus `json:"events,omitempty"`
 }
 
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	events, isArray, err := DecodeEvents(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, eventsResponse{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, eventsResponse{
+			Err: Errf(CodeInvalidBody, err.Error(), false),
+		})
 		return
 	}
 	if !isArray {
 		if err := s.Ingest(events[0]); err != nil {
-			writeJSON(w, IngestStatusCode(w, err), eventsResponse{Error: err.Error()})
+			writeJSON(w, IngestStatusCode(w, err), eventsResponse{Err: ErrorInfoFor(err)})
 			return
 		}
 		writeJSON(w, http.StatusAccepted, eventsResponse{Accepted: 1})
@@ -79,7 +94,11 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 			accepted++
 			continue
 		}
-		statuses[i] = eventStatus{Status: "rejected", Error: err.Error()}
+		info := ErrorInfoFor(err)
+		statuses[i] = eventStatus{
+			Status: "rejected", Error: err.Error(),
+			Code: info.Code, Retryable: info.Retryable,
+		}
 		if firstErr == nil || (errors.Is(err, ErrBusy) || errors.Is(err, ErrStopped)) &&
 			!(errors.Is(firstErr, ErrBusy) || errors.Is(firstErr, ErrStopped)) {
 			// Backpressure outranks validation errors for the status code:
@@ -88,10 +107,12 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	code := http.StatusAccepted
+	resp := eventsResponse{Accepted: accepted, Events: statuses}
 	if firstErr != nil {
 		code = IngestStatusCode(w, firstErr)
+		resp.Err = ErrorInfoFor(firstErr)
 	}
-	writeJSON(w, code, eventsResponse{Accepted: accepted, Events: statuses})
+	writeJSON(w, code, resp)
 }
 
 // IngestStatusCode maps an Ingest error to its HTTP status, setting
@@ -103,7 +124,7 @@ func IngestStatusCode(w http.ResponseWriter, err error) int {
 	case errors.Is(err, ErrBusy):
 		w.Header().Set("Retry-After", "1")
 		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrStopped):
+	case errors.Is(err, ErrStopped), errors.Is(err, ErrNotReady):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
@@ -146,7 +167,9 @@ func (s *Service) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	switch status {
 	case "", StatusOpen, StatusFalseAlarm, StatusConfirmed:
 	default:
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown status filter"})
+		writeJSON(w, http.StatusBadRequest, ErrorBody{
+			Error: Errf(CodeInvalidBody, "unknown status filter", false),
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"alerts": s.Alerts(status)})
@@ -155,27 +178,37 @@ func (s *Service) handleAlerts(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleResolve(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid alert id"})
+		writeJSON(w, http.StatusBadRequest, ErrorBody{
+			Error: Errf(CodeInvalidBody, "invalid alert id", false),
+		})
 		return
 	}
 	var body struct {
 		Verdict string `json:"verdict"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid JSON body"})
+		writeJSON(w, http.StatusBadRequest, ErrorBody{
+			Error: Errf(CodeInvalidBody, "invalid JSON body", false),
+		})
 		return
 	}
 	switch err := s.Resolve(id, body.Verdict); {
 	case err == nil:
 		writeJSON(w, http.StatusOK, map[string]string{"status": "resolved"})
 	case errors.Is(err, ErrNoAlert):
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no open alert with that id"})
+		writeJSON(w, http.StatusNotFound, ErrorBody{
+			Error: Errf(CodeUnknownAlert, "no open alert with that id", false),
+		})
 	case errors.Is(err, ErrSessionOpen):
-		writeJSON(w, http.StatusConflict, map[string]string{"error": "session still open"})
+		writeJSON(w, http.StatusConflict, ErrorBody{
+			Error: Errf(CodeSessionOpen, "session still open", false),
+		})
 	case errors.Is(err, ErrInvalid):
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown verdict (use false_alarm or confirmed)"})
+		writeJSON(w, http.StatusBadRequest, ErrorBody{
+			Error: Errf(CodeUnknownVerdict, "unknown verdict (use false_alarm or confirmed)", false),
+		})
 	default:
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: ErrorInfoFor(err)})
 	}
 }
 

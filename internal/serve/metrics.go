@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"strconv"
 	"sync"
 
 	"github.com/ucad/ucad/internal/obs"
@@ -55,6 +56,12 @@ type MetricsHub struct {
 	walFsyncSeconds    *obs.HistogramVec
 	snapshotSeconds    *obs.HistogramVec
 
+	// Per-shard families, labelled {tenant, shard}. Kept out of the
+	// single-label cfuncs/gfuncs maps — RemoveTenant walks those with
+	// one label value, which would never match a two-label child.
+	shardQueueWait  *obs.HistogramVec
+	shardQueueDepth *obs.GaugeFuncVec
+
 	// Func-backed families, bound per tenant by Metrics.bind.
 	cfuncs map[string]*obs.CounterFuncVec
 	gfuncs map[string]*obs.GaugeFuncVec
@@ -105,6 +112,11 @@ func NewMetricsHub(reg *obs.Registry) *MetricsHub {
 		snapshotSeconds: reg.HistogramVec("ucad_snapshot_seconds",
 			"Wall-clock duration of one open-session snapshot (capture, serialize, commit, prune).",
 			obs.ExponentialBuckets(0.001, 4, 8), "tenant"),
+		shardQueueWait: reg.HistogramVec("ucad_shard_queue_wait_seconds",
+			"Time a scoring job waited in its shard's queue before a worker picked it up.",
+			obs.LatencyBuckets, "tenant", "shard"),
+		shardQueueDepth: reg.GaugeFuncVec("ucad_shard_queue_depth",
+			"Scoring jobs queued but not yet picked up, per ingest shard.", "tenant", "shard"),
 	}
 	cfv := func(name, help string) { h.cfuncs[name] = reg.CounterFuncVec(name, help, "tenant") }
 	gfv := func(name, help string) { h.gfuncs[name] = reg.GaugeFuncVec(name, help, "tenant") }
@@ -121,6 +133,7 @@ func NewMetricsHub(reg *obs.Registry) *MetricsHub {
 	cfv("ucad_alerts_raised_total", "Alerts ever created (mid-session or at close-out).")
 	cfv("ucad_alerts_evicted_total", "Resolved alerts evicted by the retention bound (max count or TTL).")
 	cfv("ucad_retrains_total", "Background fine-tune rounds completed.")
+	cfv("ucad_model_swaps_total", "Hot model replacements applied via the admin API.")
 	cfv("ucad_checkpoint_errors_total", "Model checkpoints that failed to write or validate (rolled back).")
 	cfv("ucad_feed_unknown_keys_total", "Ingested statements whose template is absent from the trained vocabulary (mapped to the reserved UNK key and always flagged).")
 	cfv("ucad_feed_duplicate_events_total", "Redelivered events acknowledged without re-scoring (sequence number already covered by the open session).")
@@ -129,6 +142,7 @@ func NewMetricsHub(reg *obs.Registry) *MetricsHub {
 	gfv("ucad_verified_pool", "Verified-normal sessions awaiting the next fine-tune round.")
 	gfv("ucad_queue_depth", "Scoring jobs queued but not yet picked up.")
 	gfv("ucad_scoring_workers", "Size of the scoring worker pool.")
+	gfv("ucad_ingest_shards", "Number of ingest-plane shards (session partitions).")
 	gfv("ucad_train_workers", "Data-parallel training workers used by fine-tune rounds.")
 	gfv("ucad_uptime_seconds", "Seconds since the service was constructed.")
 	gfv("ucad_wal_recovered_sessions", "Open sessions rebuilt from the WAL/snapshot at the last Restore.")
@@ -177,6 +191,13 @@ func (h *MetricsHub) Tenant(id string) *Metrics {
 func (h *MetricsHub) RemoveTenant(id string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if m, ok := h.tenants[id]; ok {
+		for i := 0; i < m.shardCount; i++ {
+			shard := strconv.Itoa(i)
+			h.shardQueueWait.Remove(id, shard)
+			h.shardQueueDepth.Remove(id, shard)
+		}
+	}
 	delete(h.tenants, id)
 	h.ingestSeconds.Remove(id)
 	h.queueWaitSeconds.Remove(id)
@@ -226,6 +247,9 @@ type Metrics struct {
 
 	hub    *MetricsHub
 	tenant string
+	// shardCount records how many {tenant, shard} children bind created,
+	// so RemoveTenant can drop exactly those.
+	shardCount int
 
 	// Stage-latency histograms (seconds).
 	ingestSeconds    *obs.Histogram
@@ -285,9 +309,9 @@ func (m *Metrics) bind(s *Service) {
 	cf("ucad_flags_mid_session_total", s.midFlags.Load)
 	cf("ucad_flags_late_total", s.lateFlags.Load)
 	cf("ucad_sessions_opened_total",
-		func() int64 { opened, _ := s.asm.Counts(); return opened })
+		func() int64 { opened, _ := s.asmCounts(); return opened })
 	cf("ucad_sessions_closed_total",
-		func() int64 { _, closed := s.asm.Counts(); return closed })
+		func() int64 { _, closed := s.asmCounts(); return closed })
 	cf("ucad_sessions_processed_total",
 		func() int64 { processed, _ := s.online.Stats(); return int64(processed) })
 	cf("ucad_sessions_flagged_total",
@@ -295,27 +319,44 @@ func (m *Metrics) bind(s *Service) {
 	cf("ucad_alerts_raised_total", s.alerts.raisedCount)
 	cf("ucad_alerts_evicted_total", s.alerts.evictedCount)
 	cf("ucad_retrains_total", s.retrains.Load)
+	cf("ucad_model_swaps_total", s.modelSwaps.Load)
 	cf("ucad_checkpoint_errors_total", s.ckptErrors.Load)
 	cf("ucad_feed_unknown_keys_total", s.unknownKeys.Load)
 	cf("ucad_feed_duplicate_events_total", s.dupEvents.Load)
-	gf("ucad_sessions_open", func() float64 { return float64(s.asm.OpenCount()) })
+	gf("ucad_sessions_open", func() float64 { return float64(s.openCount()) })
 	gf("ucad_alerts_open", func() float64 { return float64(s.alerts.openCount()) })
 	gf("ucad_verified_pool",
 		func() float64 { return float64(s.online.VerifiedCount()) })
 	gf("ucad_queue_depth",
 		func() float64 { return float64(s.engine.QueueDepth()) })
 	gf("ucad_scoring_workers", func() float64 { return float64(s.cfg.Workers) })
+	gf("ucad_ingest_shards", func() float64 { return float64(len(s.shards)) })
 	gf("ucad_train_workers",
-		func() float64 { return float64(s.ucad.Model.Config().EffectiveTrainWorkers()) })
+		func() float64 { return float64(s.model.Load().ucad.Model.Config().EffectiveTrainWorkers()) })
 	gf("ucad_uptime_seconds",
 		func() float64 { return s.cfg.Clock().Sub(s.start).Seconds() })
 	gf("ucad_wal_recovered_sessions",
 		func() float64 { return float64(s.recovered.Load()) })
 	gf("ucad_wal_segment_bytes",
 		func() float64 {
-			if st := s.store.Load(); st != nil {
-				return float64(st.SegmentBytes())
+			if !s.ready.Load() {
+				return 0
 			}
-			return 0
+			var n int64
+			for _, sh := range s.shards {
+				n += sh.store.SegmentBytes()
+			}
+			return float64(n)
 		})
+	// Per-shard children, labelled {tenant, shard}.
+	m.shardCount = len(s.shards)
+	waits := make([]*obs.Histogram, len(s.shards))
+	for i := range s.shards {
+		i := i
+		shard := strconv.Itoa(i)
+		waits[i] = h.shardQueueWait.With(id, shard)
+		h.shardQueueDepth.Bind(
+			func() float64 { return float64(s.engine.ShardQueueDepth(i)) }, id, shard)
+	}
+	s.engine.instrumentShards(waits)
 }

@@ -206,24 +206,24 @@ func TestEngineBackpressure(t *testing.T) {
 	r := &blockingRanker{started: make(chan struct{}, 16), release: make(chan struct{})}
 	var mu sync.Mutex
 	var results []Result
-	e := NewEngine(r, 1, 2, 1, func(res Result) {
+	e := NewEngine(r, 1, 1, 2, 1, func(res Result) {
 		mu.Lock()
 		results = append(results, res)
 		mu.Unlock()
 	})
 	job := func(pos int) Job { return Job{Client: "c", SessionID: "s", Keys: []int{1, 2}, Pos: pos} }
 
-	if err := e.Submit(job(0)); err != nil {
+	if err := e.Submit(0, job(0)); err != nil {
 		t.Fatal(err)
 	}
 	<-r.started // worker holds job 0
-	if err := e.Submit(job(1)); err != nil {
+	if err := e.Submit(0, job(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Submit(job(2)); err != nil {
+	if err := e.Submit(0, job(2)); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Submit(job(3)); err != ErrBusy {
+	if err := e.Submit(0, job(3)); err != ErrBusy {
 		t.Fatalf("submit into full queue: %v, want ErrBusy", err)
 	}
 
@@ -241,7 +241,7 @@ func TestEngineBackpressure(t *testing.T) {
 	}
 
 	e.Stop()
-	if err := e.Submit(job(4)); err != ErrStopped {
+	if err := e.Submit(0, job(4)); err != ErrStopped {
 		t.Fatalf("submit after stop: %v, want ErrStopped", err)
 	}
 }
@@ -264,9 +264,9 @@ func (r *countingRanker) RankBatch(dst []int, contexts [][]int, keys []int) []in
 
 func TestEngineMicroBatchScoresEverything(t *testing.T) {
 	r := &countingRanker{}
-	e := NewEngine(r, 3, 64, 8, nil)
+	e := NewEngine(r, 1, 3, 64, 8, nil)
 	for i := 0; i < 50; i++ {
-		if err := e.Submit(Job{Keys: []int{1, 2, 3}, Pos: i}); err != nil {
+		if err := e.Submit(0, Job{Keys: []int{1, 2, 3}, Pos: i}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,12 +14,30 @@ import (
 	"github.com/ucad/ucad/internal/wal"
 )
 
+// RetrainGate schedules background fine-tune rounds across services
+// sharing one training budget (multi-tenant deployments install a
+// weighted-fair gate so a busy tenant cannot starve its siblings).
+type RetrainGate interface {
+	// Acquire blocks until the caller may start a fine-tune round; the
+	// returned release must be called when the round ends.
+	Acquire(tenant string) func()
+	// Position reports how many rounds are queued ahead of tenant
+	// (0 means idle or running now).
+	Position(tenant string) int
+}
+
 // Config tunes the serving layer.
 type Config struct {
+	// Shards is the number of ingest-plane partitions: sessions are
+	// routed to a shard by consistent hash of their client id, and each
+	// shard owns its session map, its WAL stream and its scoring queue
+	// (0 means GOMAXPROCS).
+	Shards int
 	// Workers is the scoring worker-pool size.
 	Workers int
-	// QueueSize bounds the scoring queue; a full queue rejects events
-	// with ErrBusy (backpressure).
+	// QueueSize bounds the total scoring queue capacity, split across
+	// shard queues; a full shard queue rejects events with ErrBusy
+	// (backpressure).
 	QueueSize int
 	// Batch is the micro-batch size a worker drains per pass.
 	Batch int
@@ -32,6 +51,9 @@ type Config struct {
 	RetrainAfter int
 	// RetrainEpochs is the fine-tune epoch count per retrain round.
 	RetrainEpochs int
+	// RetrainGate, when non-nil, gates background fine-tune rounds (see
+	// RetrainGate); nil means rounds start immediately.
+	RetrainGate RetrainGate
 	// MaxResolvedAlerts bounds how many resolved alerts the in-memory
 	// store retains (FIFO eviction; 0 means the default, negative means
 	// unbounded). Open alerts are never evicted.
@@ -66,24 +88,34 @@ func DefaultConfig() Config {
 	}
 }
 
+// modelBundle is the serving model plus the scoring parameters derived
+// from it, swapped as one unit so a hot model replacement can never be
+// observed half-applied on the ingest path.
+type modelBundle struct {
+	ucad       *core.UCAD
+	window     int
+	minContext int
+	topP       int
+}
+
 // Service is the full online detection loop of Figure 5 as a running
-// system: events stream in, sessions assemble per client, every
-// operation is scored concurrently against the trained model, flagged
-// operations raise alerts mid-session, closed sessions feed the
-// verified-pool/retrain cycle via detect.Online.
+// system: events stream in, sessions assemble per client on the shard
+// the client hashes to, every operation is scored concurrently against
+// the trained model, flagged operations raise alerts mid-session,
+// closed sessions feed the verified-pool/retrain cycle via
+// detect.Online.
 type Service struct {
 	cfg     Config
-	ucad    *core.UCAD
 	online  *detect.Online
-	asm     *Assembler
+	shards  []*shard
 	engine  *Engine
 	alerts  *alertStore
 	metrics *Metrics
 	start   time.Time
 
-	window     int
-	minContext int
-	topP       int
+	// model is the active model bundle; read per ingest, replaced
+	// atomically by SwapModel.
+	model atomic.Pointer[modelBundle]
 
 	accepted    atomic.Int64
 	rejected    atomic.Int64
@@ -92,6 +124,7 @@ type Service struct {
 	retrains    atomic.Int64
 	unknownKeys atomic.Int64
 	dupEvents   atomic.Int64
+	modelSwaps  atomic.Int64
 
 	stopped    atomic.Bool
 	retraining atomic.Bool
@@ -101,17 +134,17 @@ type Service struct {
 	sweepDone chan struct{}
 	startOnce sync.Once
 
-	// Durability state (nil/zero without Config.Durability; see
-	// durable.go). durMu makes an assembler mutation and its WAL record
-	// atomic with respect to snapshot capture, pinning every snapshot to
-	// an exact log position.
-	store      atomic.Pointer[wal.Store]
-	ckpts      *wal.Checkpoints
-	durMu      sync.Mutex
-	recovered  atomic.Int64
-	ckptErrors atomic.Int64
-	snapStop   chan struct{}
-	snapDone   chan struct{}
+	// Durability state (zero without Config.Durability; see durable.go).
+	// ready publishes the shard stores after Restore: a
+	// durability-configured service rejects ingest with ErrNotReady
+	// until it is set, so no accepted event can bypass the log.
+	ready       atomic.Bool
+	restoreOnce atomic.Bool
+	ckpts       *wal.Checkpoints
+	recovered   atomic.Int64
+	ckptErrors  atomic.Int64
+	snapStop    chan struct{}
+	snapDone    chan struct{}
 }
 
 // NewService wires a trained detector into a serving loop. The scoring
@@ -119,6 +152,9 @@ type Service struct {
 // close-out sweeper and Stop to flush and shut down.
 func NewService(u *core.UCAD, cfg Config) *Service {
 	def := DefaultConfig()
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = def.Workers
 	}
@@ -148,18 +184,23 @@ func NewService(u *core.UCAD, cfg Config) *Service {
 	}
 	mcfg := u.Model.Config()
 	s := &Service{
-		cfg:        cfg,
+		cfg:     cfg,
+		online:  detect.NewOnline(u),
+		alerts:  newAlertStore(cfg.Clock, cfg.MaxResolvedAlerts, cfg.ResolvedAlertTTL),
+		metrics: cfg.Metrics,
+		start:   cfg.Clock(),
+	}
+	s.model.Store(&modelBundle{
 		ucad:       u,
-		online:     detect.NewOnline(u),
-		asm:        NewAssembler(cfg.IdleTimeout, cfg.Clock),
-		alerts:     newAlertStore(cfg.Clock, cfg.MaxResolvedAlerts, cfg.ResolvedAlertTTL),
-		metrics:    cfg.Metrics,
-		start:      cfg.Clock(),
 		window:     mcfg.Window,
 		minContext: mcfg.MinContext,
 		topP:       mcfg.TopP,
+	})
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{idx: i, asm: NewAssembler(cfg.IdleTimeout, cfg.Clock)}
 	}
-	s.engine = NewEngine(s.online, cfg.Workers, cfg.QueueSize, cfg.Batch, s.onResult)
+	s.engine = NewEngine(s.online, cfg.Shards, cfg.Workers, cfg.QueueSize, cfg.Batch, s.onResult)
 	m := s.metrics
 	s.engine.instrument(m.queueWaitSeconds, m.scoreSeconds, m.scoreBatchSize)
 	s.online.SetTrainHooks(detect.TrainHooks{
@@ -205,8 +246,8 @@ func (s *Service) Start() {
 // Stop flushes every open session through close-out detection and shuts
 // the scoring pool down. Quiesce ingestion (shut the HTTP server down)
 // before calling it; Ingest fails with ErrStopped afterwards. With
-// durability enabled the flushed close-outs are WAL-logged and the log
-// is sealed, so a restart restores an empty assembler; use Close to
+// durability enabled the flushed close-outs are WAL-logged and the logs
+// are sealed, so a restart restores an empty assembler; use Close to
 // preserve open sessions across a deploy instead.
 func (s *Service) Stop() {
 	if !s.stopped.CompareAndSwap(false, true) {
@@ -214,7 +255,7 @@ func (s *Service) Stop() {
 	}
 	s.stopBackground()
 	s.engine.Drain()
-	s.finalize(s.closeLogged(s.asm.CloseAll))
+	s.finalize(s.closeAllLogged(false))
 	s.engine.Stop()
 	s.retrainWG.Wait()
 	s.sealAndCloseStore()
@@ -223,13 +264,14 @@ func (s *Service) Stop() {
 // Close is the durable graceful shutdown: ingestion must already be
 // quiesced; Close stops the background loops, drains the scoring queue
 // (bounded by ctx), runs close-out detection on sessions already idle
-// past the timeout, then snapshots the still-open sessions, appends the
-// clean-seal record and closes the log — a following Restore on the
-// same directory brings every open session back exactly where it was.
-// Without durability it behaves like Stop (nothing would preserve the
-// sessions, so they are flushed through detection instead).
+// past the timeout, then snapshots the still-open sessions shard by
+// shard, appends each stream's clean-seal record and closes the logs —
+// a following Restore on the same directory brings every open session
+// back exactly where it was. Without durability it behaves like Stop
+// (nothing would preserve the sessions, so they are flushed through
+// detection instead).
 func (s *Service) Close(ctx context.Context) error {
-	if s.store.Load() == nil {
+	if !s.ready.Load() {
 		s.Stop()
 		return nil
 	}
@@ -243,9 +285,9 @@ func (s *Service) Close(ctx context.Context) error {
 	select {
 	case <-drained:
 	case <-ctx.Done():
-		err = ctx.Err() // proceed: shutdown must still seal the log
+		err = ctx.Err() // proceed: shutdown must still seal the logs
 	}
-	s.finalize(s.closeLogged(s.asm.CloseIdle))
+	s.finalize(s.closeAllLogged(true))
 	s.engine.Stop()
 	s.retrainWG.Wait()
 	if serr := s.sealAndCloseStore(); err == nil {
@@ -267,13 +309,14 @@ func (s *Service) stopBackground() {
 }
 
 // Ingest absorbs one event: the statement is tokenized with the trained
-// vocabulary, appended to the client's open session, and queued for
-// incremental scoring once the session has MinContext history. A full
-// scoring queue rejects the event with ErrBusy — the operation is
-// rolled back out of the session so a client retry is not a duplicate.
-// With durability enabled the event is WAL-logged (durable per the
-// fsync policy) before Ingest returns nil — the write-ahead contract:
-// nothing is acknowledged that a crash could forget.
+// vocabulary, appended to the client's open session on the shard the
+// client hashes to, and queued for incremental scoring once the session
+// has MinContext history. A full shard scoring queue rejects the event
+// with ErrBusy — the operation is rolled back out of the session so a
+// client retry is not a duplicate. With durability enabled the event is
+// logged to the shard's own WAL stream (durable per the fsync policy)
+// before Ingest returns nil — the write-ahead contract: nothing is
+// acknowledged that a crash could forget.
 //
 // A statement whose template is absent from the trained vocabulary maps
 // to the reserved UNK key (sqlnorm.UnknownKey): it is still assembled
@@ -289,41 +332,44 @@ func (s *Service) Ingest(ev Event) error {
 	if ev.SQL == "" {
 		return ErrInvalid
 	}
-	store := s.store.Load()
-	if store == nil && s.cfg.Durability != nil {
+	durable := s.cfg.Durability != nil
+	if durable && !s.ready.Load() {
 		return ErrNotReady
 	}
 	t := obs.StartTimer(s.metrics.ingestSeconds)
 	defer t.Stop()
-	key := s.ucad.Vocab.Key(ev.SQL)
+	mb := s.model.Load()
+	key := mb.ucad.Vocab.Key(ev.SQL)
 	if key == sqlnorm.UnknownKey {
 		s.unknownKeys.Add(1)
 	}
+	client := ev.Client()
+	sh := s.shardFor(client)
 	var ap Appended
-	if store != nil {
+	if durable {
 		var err error
-		if ap, err = s.ingestDurable(store, ev, key); err != nil {
+		if ap, err = s.ingestDurable(sh, ev, key, mb.window); err != nil {
 			s.rejected.Add(1)
 			return err
 		}
 	} else {
-		ap = s.asm.Append(ev, key, s.window+1)
+		ap = sh.asm.Append(ev, key, mb.window+1)
 	}
 	if ap.Dup {
 		s.dupEvents.Add(1)
 		return nil
 	}
-	if ap.Pos >= s.minContext {
+	if ap.Pos >= mb.minContext {
 		job := Job{
-			Client:    ev.Client(),
+			Client:    client,
 			User:      ev.User,
 			SessionID: ap.SessionID,
 			Keys:      ap.Keys,
 			Pos:       ap.Pos,
 			SQL:       ev.SQL,
 		}
-		if err := s.engine.Submit(job); err != nil {
-			s.rollbackLogged(ev.Client(), ap.SessionID, ap.Pos)
+		if err := s.engine.Submit(sh.idx, job); err != nil {
+			s.rollbackLogged(sh, client, ap.SessionID, ap.Pos)
 			s.rejected.Add(1)
 			return err
 		}
@@ -335,7 +381,7 @@ func (s *Service) Ingest(ev Event) error {
 // onResult runs on scoring workers: ranks beyond top-p raise (or
 // extend) the session's mid-session alert.
 func (s *Service) onResult(r Result) {
-	if r.Rank <= s.topP {
+	if r.Rank <= s.model.Load().topP {
 		return
 	}
 	s.midFlags.Add(1)
@@ -348,7 +394,7 @@ func (s *Service) onResult(r Result) {
 // immediately and returns how many closed. It also ages resolved alerts
 // past their retention TTL out of the store.
 func (s *Service) CloseIdleNow() int {
-	closed := s.closeLogged(s.asm.CloseIdle)
+	closed := s.closeAllLogged(true)
 	s.finalize(closed)
 	s.alerts.evictExpired()
 	return len(closed)
@@ -373,7 +419,9 @@ func (s *Service) finalize(closed []Closed) {
 
 // maybeRetrain kicks one background fine-tune round when the verified
 // pool is large enough; scoring keeps running and blocks only for the
-// model-swap critical section inside detect.Online.
+// model-swap critical section inside detect.Online. A configured
+// RetrainGate is acquired first, so overlapping tenant rounds share the
+// training workers fairly instead of piling up.
 func (s *Service) maybeRetrain() {
 	if s.cfg.RetrainAfter <= 0 || s.online.VerifiedCount() < s.cfg.RetrainAfter {
 		return
@@ -385,12 +433,53 @@ func (s *Service) maybeRetrain() {
 	go func() {
 		defer s.retrainWG.Done()
 		defer s.retraining.Store(false)
+		if g := s.cfg.RetrainGate; g != nil {
+			release := g.Acquire(s.metrics.TenantID())
+			defer release()
+		}
 		if s.online.Retrain(s.cfg.RetrainEpochs) > 0 {
 			s.retrains.Add(1)
 			s.checkpointModel()
 		}
 	}()
 }
+
+// SwapModel hot-replaces the serving model without draining the
+// service: a brief stop-the-world barrier over every ingest shard swaps
+// the detector inside detect.Online (under its model write-lock),
+// publishes the new scoring parameters, and re-tokenizes every open
+// session with the new vocabulary so the key windows handed to scorers
+// stay consistent with the model ranking them. Scoring jobs already in
+// flight complete against whichever model version their batch locks —
+// at most one micro-batch per worker spans the swap. The caller has
+// already validated that the model loads.
+func (s *Service) SwapModel(u *core.UCAD) error {
+	if s.stopped.Load() {
+		return ErrStopped
+	}
+	mcfg := u.Model.Config()
+	for _, sh := range s.shards {
+		sh.durMu.Lock()
+	}
+	s.online.SwapModel(u)
+	s.model.Store(&modelBundle{
+		ucad:       u,
+		window:     mcfg.Window,
+		minContext: mcfg.MinContext,
+		topP:       mcfg.TopP,
+	})
+	for _, sh := range s.shards {
+		sh.asm.Rekey(u.Vocab.Key)
+	}
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].durMu.Unlock()
+	}
+	s.modelSwaps.Add(1)
+	return nil
+}
+
+// ModelSwaps reports how many hot model replacements have been applied.
+func (s *Service) ModelSwaps() int64 { return s.modelSwaps.Load() }
 
 // Resolve applies an expert verdict to a final alert: false alarms
 // rejoin the training pool (§5.2), confirmed anomalies never do.
@@ -455,6 +544,8 @@ type Stats struct {
 	Retrains          int64   `json:"retrains"`
 	QueueDepth        int     `json:"queue_depth"`
 	Workers           int     `json:"workers"`
+	Shards            int     `json:"shards"`
+	ModelSwaps        int64   `json:"model_swaps"`
 	RecoveredSessions int64   `json:"recovered_sessions"`
 	UnknownKeys       int64   `json:"unknown_keys"`
 	DuplicateEvents   int64   `json:"duplicate_events"`
@@ -463,7 +554,7 @@ type Stats struct {
 // Stats snapshots the serving counters.
 func (s *Service) Stats() Stats {
 	scored, opsRejected := s.engine.Counts()
-	_, closed := s.asm.Counts()
+	_, closed := s.asmCounts()
 	processed, flagged := s.online.Stats()
 	return Stats{
 		UptimeSeconds:     s.cfg.Clock().Sub(s.start).Seconds(),
@@ -472,7 +563,7 @@ func (s *Service) Stats() Stats {
 		OpsScored:         scored,
 		OpsRejected:       opsRejected,
 		MidSessionFlags:   s.midFlags.Load(),
-		SessionsOpen:      s.asm.OpenCount(),
+		SessionsOpen:      s.openCount(),
 		SessionsClosed:    closed,
 		SessionsProcessed: processed,
 		SessionsFlagged:   flagged,
@@ -483,6 +574,8 @@ func (s *Service) Stats() Stats {
 		Retrains:          s.retrains.Load(),
 		QueueDepth:        s.engine.QueueDepth(),
 		Workers:           s.cfg.Workers,
+		Shards:            len(s.shards),
+		ModelSwaps:        s.modelSwaps.Load(),
 		RecoveredSessions: s.recovered.Load(),
 		UnknownKeys:       s.unknownKeys.Load(),
 		DuplicateEvents:   s.dupEvents.Load(),

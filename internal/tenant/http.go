@@ -6,16 +6,31 @@ import (
 	"net/http"
 	"strings"
 
+	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/serve"
 )
 
-// CodeUnknownTenant is the machine-readable error code a routing miss
-// answers with — distinguishable from a bad payload (plain 400) so a
-// misconfigured frontend shows up as exactly that.
-const CodeUnknownTenant = "unknown_tenant"
+// Tenant-layer error codes, extending the serve envelope taxonomy
+// (see internal/serve/envelope.go).
+const (
+	// CodeUnknownTenant is the machine-readable error code a routing
+	// miss answers with — distinguishable from a bad payload (plain 400)
+	// so a misconfigured frontend shows up as exactly that.
+	CodeUnknownTenant = "unknown_tenant"
+	// CodeTenantExists rejects creating an id that is already live.
+	CodeTenantExists = "tenant_exists"
+	// CodeTenantDraining rejects writes to a quiesced tenant (it may
+	// come back or be deleted — retry and find out).
+	CodeTenantDraining = "tenant_draining"
+	// CodeInvalidModel rejects a model upload that fails validation.
+	CodeInvalidModel = "invalid_model"
+)
 
 // TenantHeader routes events whose body carries no tenant field.
 const TenantHeader = "X-UCAD-Tenant"
+
+// maxModelUpload bounds a PUT model body (the serialized detector).
+const maxModelUpload = 256 << 20
 
 // Handler returns the multi-tenant HTTP surface:
 //
@@ -25,6 +40,7 @@ const TenantHeader = "X-UCAD-Tenant"
 //	POST   /v1/tenants                 create a tenant from a JSON Spec
 //	DELETE /v1/tenants/{id}            delete a tenant and its data dir
 //	POST   /v1/tenants/{id}/drain      quiesce a tenant (keeps it queryable)
+//	PUT    /v1/tenants/{id}/model      hot-replace the tenant's serving model
 //	GET    /v1/tenants/{id}/stats      that tenant's serving counters
 //	GET    /v1/tenants/{id}/alerts     that tenant's alerts (and .../alerts/{aid}/resolve)
 //	GET    /v1/alerts, /stats          default-tenant views (?tenant= overrides) —
@@ -32,9 +48,11 @@ const TenantHeader = "X-UCAD-Tenant"
 //	GET    /healthz                    liveness
 //	GET    /metrics                    shared Prometheus exposition, tenant-labelled
 //
-// Events routed to a nonexistent tenant answer a structured 404 with
-// code "unknown_tenant"; per-event statuses carry the same code inside
-// batch responses.
+// Every non-2xx response carries the unified error envelope
+// {"error":{"code","message","retryable"}}; the tenant layer extends
+// the serve taxonomy with unknown_tenant, tenant_exists,
+// tenant_draining and invalid_model. The legacy top-level "code" string
+// is still mirrored one release behind the migration.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/events", r.handleEvents)
@@ -42,6 +60,7 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/tenants", r.handleCreate)
 	mux.HandleFunc("DELETE /v1/tenants/{id}", r.handleDelete)
 	mux.HandleFunc("POST /v1/tenants/{id}/drain", r.handleDrain)
+	mux.HandleFunc("PUT /v1/tenants/{id}/model", r.handleModelSwap)
 	mux.HandleFunc("GET /v1/tenants/{id}/stats", r.handleTenantStats)
 	mux.Handle("/v1/tenants/{id}/alerts", http.HandlerFunc(r.handleTenantScoped))
 	mux.Handle("/v1/tenants/{id}/alerts/", http.HandlerFunc(r.handleTenantScoped))
@@ -53,7 +72,7 @@ func (r *Registry) Handler() http.Handler {
 			writeTenantErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, t.Stats())
+		writeJSON(w, http.StatusOK, r.tenantStats(t))
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -62,20 +81,30 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
-// eventStatus mirrors serve's per-event batch status, plus the
-// machine-readable code for routing misses.
+// eventStatus mirrors serve's per-event batch status: the legacy Error
+// string plus the envelope's code/retryable pair.
 type eventStatus struct {
-	Status string `json:"status"`          // "accepted" or "rejected"
-	Error  string `json:"error,omitempty"` // rejection reason
-	Code   string `json:"code,omitempty"`  // "unknown_tenant" on a routing miss
+	Status string `json:"status"` // "accepted" or "rejected"
+	// Error is the legacy rejection-reason string.
+	//
+	// Deprecated: read Code/Retryable instead.
+	Error string `json:"error,omitempty"`
+	// Code is the envelope taxonomy code of the rejection.
+	Code string `json:"code,omitempty"`
+	// Retryable reports whether resending this exact event can succeed.
+	Retryable bool `json:"retryable,omitempty"`
 }
 
-// eventsResponse mirrors serve's response shape with the added Code.
+// eventsResponse mirrors serve's response shape. The top-level "error"
+// key carries the unified envelope object; "code" mirrors its code for
+// clients of the pre-envelope API.
 type eventsResponse struct {
-	Accepted int           `json:"accepted"`
-	Error    string        `json:"error,omitempty"`
-	Code     string        `json:"code,omitempty"`
-	Events   []eventStatus `json:"events,omitempty"`
+	Accepted int              `json:"accepted"`
+	Err      *serve.ErrorInfo `json:"error,omitempty"`
+	// Deprecated: Code mirrors Err.Code one release behind the envelope
+	// migration.
+	Code   string        `json:"code,omitempty"`
+	Events []eventStatus `json:"events,omitempty"`
 }
 
 // handleEvents is the routed ingest path. Batches may mix tenants; each
@@ -84,7 +113,10 @@ type eventsResponse struct {
 func (r *Registry) handleEvents(w http.ResponseWriter, req *http.Request) {
 	events, isArray, err := serve.DecodeEvents(req)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, eventsResponse{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, eventsResponse{
+			Err:  serve.Errf(serve.CodeInvalidBody, err.Error(), false),
+			Code: serve.CodeInvalidBody,
+		})
 		return
 	}
 	// Request-level fallback for events without a body tenant field.
@@ -100,8 +132,8 @@ func (r *Registry) handleEvents(w http.ResponseWriter, req *http.Request) {
 	}
 	if !isArray {
 		if err := route(events[0]); err != nil {
-			code, ecode := routedStatusCode(w, err)
-			writeJSON(w, code, eventsResponse{Error: err.Error(), Code: ecode})
+			info := tenantErrorInfo(err)
+			writeJSON(w, routedStatusCode(w, err), eventsResponse{Err: info, Code: info.Code})
 			return
 		}
 		writeJSON(w, http.StatusAccepted, eventsResponse{Accepted: 1})
@@ -117,9 +149,10 @@ func (r *Registry) handleEvents(w http.ResponseWriter, req *http.Request) {
 			accepted++
 			continue
 		}
-		statuses[i] = eventStatus{Status: "rejected", Error: err.Error()}
-		if errors.Is(err, ErrUnknownTenant) {
-			statuses[i].Code = CodeUnknownTenant
+		info := tenantErrorInfo(err)
+		statuses[i] = eventStatus{
+			Status: "rejected", Error: err.Error(),
+			Code: info.Code, Retryable: info.Retryable,
 		}
 		// Backpressure outranks validation errors for the batch status
 		// code (same contract as the single-tenant handler): a 503 tells
@@ -129,26 +162,53 @@ func (r *Registry) handleEvents(w http.ResponseWriter, req *http.Request) {
 			firstErr = err
 		}
 	}
-	code, ecode := http.StatusAccepted, ""
+	resp := eventsResponse{Accepted: accepted, Events: statuses}
+	code := http.StatusAccepted
 	if firstErr != nil {
-		code, ecode = routedStatusCode(w, firstErr)
+		code = routedStatusCode(w, firstErr)
+		resp.Err = tenantErrorInfo(firstErr)
+		resp.Code = resp.Err.Code
 	}
-	writeJSON(w, code, eventsResponse{Accepted: accepted, Events: statuses, Code: ecode})
+	writeJSON(w, code, resp)
+}
+
+// tenantErrorInfo extends serve's envelope classification with the
+// tenant lifecycle/routing errors.
+func tenantErrorInfo(err error) *serve.ErrorInfo {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(err, ErrUnknownTenant), errors.Is(err, ErrInvalidID):
+		return serve.Errf(CodeUnknownTenant, err.Error(), false)
+	case errors.Is(err, ErrDraining):
+		return serve.Errf(CodeTenantDraining, err.Error(), true)
+	case errors.Is(err, ErrRegistryClosed):
+		return serve.Errf(serve.CodeShuttingDown, err.Error(), true)
+	case errors.Is(err, ErrTenantExists):
+		return serve.Errf(CodeTenantExists, err.Error(), false)
+	case errors.Is(err, ErrInvalidModel):
+		return serve.Errf(CodeInvalidModel, err.Error(), false)
+	default:
+		return serve.ErrorInfoFor(err)
+	}
 }
 
 // routedStatusCode extends serve.IngestStatusCode with the routing
 // errors: unknown tenant is a structured 404, draining a 503 (the
 // tenant may come back or be deleted — retry and find out).
-func routedStatusCode(w http.ResponseWriter, err error) (httpCode int, errCode string) {
+func routedStatusCode(w http.ResponseWriter, err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownTenant):
-		return http.StatusNotFound, CodeUnknownTenant
-	case errors.Is(err, ErrInvalidID):
-		return http.StatusNotFound, CodeUnknownTenant
+	case errors.Is(err, ErrUnknownTenant), errors.Is(err, ErrInvalidID):
+		return http.StatusNotFound
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrRegistryClosed):
-		return http.StatusServiceUnavailable, ""
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrTenantExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrInvalidModel):
+		return http.StatusBadRequest
 	default:
-		return serve.IngestStatusCode(w, err), ""
+		return serve.IngestStatusCode(w, err)
 	}
 }
 
@@ -189,7 +249,10 @@ func (r *Registry) handleList(w http.ResponseWriter, req *http.Request) {
 func (r *Registry) handleCreate(w http.ResponseWriter, req *http.Request) {
 	var spec Spec
 	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20)).Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid tenant spec"})
+		writeJSON(w, http.StatusBadRequest, tenantErrBody{
+			Error: serve.Errf(serve.CodeInvalidBody, "invalid tenant spec", false),
+			Code:  serve.CodeInvalidBody,
+		})
 		return
 	}
 	// The admin API never accepts a directory override: Spec.Dir exists
@@ -198,11 +261,7 @@ func (r *Registry) handleCreate(w http.ResponseWriter, req *http.Request) {
 	spec.Dir = ""
 	t, err := r.Create(spec)
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, ErrTenantExists) {
-			code = http.StatusConflict
-		}
-		writeJSON(w, code, map[string]string{"error": err.Error()})
+		writeTenantErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, t.info())
@@ -225,13 +284,53 @@ func (r *Registry) handleDrain(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, t.info())
 }
 
+// handleModelSwap is the hot model replacement path: the uploaded model
+// is staged and validated off the ingest path (core.Load proves it
+// decodes into a working detector), tuned like any other loaded model,
+// then atomically swapped into the tenant's serving pipeline and
+// checkpointed. Ingest keeps flowing throughout; a model that fails
+// validation answers 400 invalid_model and changes nothing.
+func (r *Registry) handleModelSwap(w http.ResponseWriter, req *http.Request) {
+	t, err := r.Get(req.PathValue("id"))
+	if err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	u, err := core.Load(http.MaxBytesReader(w, req.Body, maxModelUpload))
+	if err != nil {
+		writeTenantErr(w, errors.Join(ErrInvalidModel, err))
+		return
+	}
+	if r.opts.Tune != nil {
+		r.opts.Tune(u)
+	}
+	if err := t.SwapModel(u); err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.info())
+}
+
+// tenantStats wraps the serving counters with registry-level context:
+// where the tenant sits in the shared fine-tune queue.
+type tenantStats struct {
+	serve.Stats
+	// RetrainQueuePosition is the tenant's place in the weighted-fair
+	// retrain queue (0 = idle or retraining now, 1 = next).
+	RetrainQueuePosition int `json:"retrain_queue_position"`
+}
+
+func (r *Registry) tenantStats(t *Tenant) tenantStats {
+	return tenantStats{Stats: t.Stats(), RetrainQueuePosition: r.gate.Position(t.id)}
+}
+
 func (r *Registry) handleTenantStats(w http.ResponseWriter, req *http.Request) {
 	t, err := r.Get(req.PathValue("id"))
 	if err != nil {
 		writeTenantErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, t.Stats())
+	writeJSON(w, http.StatusOK, r.tenantStats(t))
 }
 
 // handleTenantScoped rewrites /v1/tenants/{id}/alerts... onto the
@@ -262,19 +361,20 @@ func (r *Registry) delegate(w http.ResponseWriter, req *http.Request) {
 	t.handler.Load().h.ServeHTTP(w, req)
 }
 
-// writeTenantErr renders a lifecycle/routing error with the structured
-// code where one applies.
+// tenantErrBody is the non-2xx response shape: the unified envelope
+// plus the legacy top-level code mirror.
+type tenantErrBody struct {
+	Error *serve.ErrorInfo `json:"error"`
+	// Deprecated: Code mirrors Error.Code one release behind the
+	// envelope migration.
+	Code string `json:"code,omitempty"`
+}
+
+// writeTenantErr renders a lifecycle/routing error as the unified
+// envelope with its mapped HTTP status.
 func writeTenantErr(w http.ResponseWriter, err error) {
-	body := map[string]string{"error": err.Error()}
-	code := http.StatusBadRequest
-	switch {
-	case errors.Is(err, ErrUnknownTenant):
-		code = http.StatusNotFound
-		body["code"] = CodeUnknownTenant
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrRegistryClosed):
-		code = http.StatusServiceUnavailable
-	}
-	writeJSON(w, code, body)
+	info := tenantErrorInfo(err)
+	writeJSON(w, routedStatusCode(w, err), tenantErrBody{Error: info, Code: info.Code})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -102,7 +102,8 @@ func TestHTTPRoutingAndAdmin(t *testing.T) {
 	if err := json.Unmarshal(body, &er); err != nil {
 		t.Fatal(err)
 	}
-	if er.Code != CodeUnknownTenant || er.Error == "" {
+	if er.Code != CodeUnknownTenant || er.Err == nil ||
+		er.Err.Code != CodeUnknownTenant || er.Err.Message == "" || er.Err.Retryable {
 		t.Fatalf("unknown-tenant response: %+v", er)
 	}
 
@@ -288,4 +289,3 @@ func mustJSON(t *testing.T, v any) string {
 	}
 	return string(b)
 }
-

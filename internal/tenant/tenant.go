@@ -44,6 +44,7 @@ var (
 	ErrDraining       = errors.New("tenant: tenant is draining")
 	ErrRegistryClosed = errors.New("tenant: registry closed")
 	ErrInvalidID      = errors.New("tenant: invalid tenant id")
+	ErrInvalidModel   = errors.New("tenant: model failed validation")
 )
 
 // Spec describes one tenant: its identity and where its trained model
@@ -92,6 +93,10 @@ type Options struct {
 type Registry struct {
 	opts Options
 	hub  *serve.MetricsHub
+	// gate admits one background fine-tune round at a time across every
+	// tenant (they share one TrainWorkers budget), weighted-fair so a
+	// retrain-heavy tenant cannot starve its siblings.
+	gate *FairGate
 
 	// adminMu serializes create/delete/close (the slow, IO-heavy
 	// lifecycle transitions); mu guards only the map itself so the
@@ -122,8 +127,12 @@ func New(opts Options) *Registry {
 	if hub == nil {
 		hub = serve.NewMetricsHub(nil)
 	}
-	return &Registry{opts: opts, hub: hub, tenants: make(map[string]*Tenant)}
+	return &Registry{opts: opts, hub: hub, gate: NewFairGate(), tenants: make(map[string]*Tenant)}
 }
+
+// Gate exposes the registry's fine-tune admission gate (weight tuning,
+// queue-position queries).
+func (r *Registry) Gate() *FairGate { return r.gate }
 
 // Hub exposes the shared metrics hub (mount Hub().Registry.Handler() at
 // GET /metrics; Registry.Handler already does).
@@ -222,6 +231,7 @@ func (r *Registry) create(spec Spec, u *core.UCAD) (*Tenant, error) {
 
 	cfg := r.opts.Serve
 	cfg.Metrics = r.hub.Tenant(id)
+	cfg.RetrainGate = r.gate
 	cfg.Durability = nil
 	if t.dir != "" {
 		d := r.opts.Durability
@@ -487,6 +497,23 @@ func (t *Tenant) Draining() bool { return t.draining.Load() }
 
 // Stats snapshots the tenant's serving counters.
 func (t *Tenant) Stats() serve.Stats { return t.svc.Stats() }
+
+// SwapModel hot-replaces the tenant's serving model with an
+// already-validated one: scoring switches atomically (in-flight batches
+// finish on the old model), open sessions are re-tokenized against the
+// new vocabulary, and the new model is checkpointed through the
+// tenant's manifest so the replacement survives a restart. Ingest keeps
+// flowing throughout — no drain, no dropped events.
+func (t *Tenant) SwapModel(u *core.UCAD) error {
+	if t.draining.Load() {
+		return ErrDraining
+	}
+	if err := t.svc.SwapModel(u); err != nil {
+		return err
+	}
+	t.svc.CheckpointModel()
+	return nil
+}
 
 // Ingest absorbs one event into the tenant's pipeline unless it is
 // draining. The event's Tenant field is not re-checked: routing already

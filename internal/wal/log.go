@@ -13,7 +13,8 @@ import (
 )
 
 // Log is an append-only segmented write-ahead log. Segments are files
-// named wal-<seq>.log with monotonically increasing sequence numbers;
+// named <prefix><seq>.log (Options.SegmentPrefix, default "wal-") with
+// monotonically increasing sequence numbers;
 // appends go to the highest segment and rotate to a fresh one past
 // Options.SegmentBytes. Open truncates a torn tail left by a crash, so
 // an opened log always ends on a record boundary. Log is safe for
@@ -41,28 +42,37 @@ type Log struct {
 // ErrClosed reports an operation on a closed log.
 var ErrClosed = errors.New("wal: log closed")
 
-func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
+func segmentName(prefix string, seq uint64) string { return fmt.Sprintf("%s%016d.log", prefix, seq) }
 
-// parseSegmentSeq extracts the sequence number from a segment filename,
-// reporting ok=false for files that are not segments.
-func parseSegmentSeq(name string) (uint64, bool) {
-	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+// parseSeq extracts the sequence number from a <prefix><seq><suffix>
+// filename, reporting ok=false for files that do not match. A numeric
+// parse failure rejects the file, so the default "wal-" prefix never
+// claims a shard stream's "wal-shard-NN-…" segments.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) ||
+		len(name) <= len(prefix)+len(suffix) {
 		return 0, false
 	}
-	seq, err := strconv.ParseUint(name[len("wal-"):len(name)-len(".log")], 10, 64)
+	seq, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
 	return seq, err == nil && seq > 0
 }
 
-// listSegments returns the directory's segment sequence numbers in
-// ascending order.
-func listSegments(dir string) ([]uint64, error) {
+// parseSegmentSeq extracts the sequence number from a segment filename,
+// reporting ok=false for files that are not this stream's segments.
+func parseSegmentSeq(name, prefix string) (uint64, bool) {
+	return parseSeq(name, prefix, ".log")
+}
+
+// listSegments returns the directory's segment sequence numbers for one
+// stream prefix in ascending order.
+func listSegments(dir, prefix string) ([]uint64, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var seqs []uint64
 	for _, e := range ents {
-		if seq, ok := parseSegmentSeq(e.Name()); ok && !e.IsDir() {
+		if seq, ok := parseSegmentSeq(e.Name(), prefix); ok && !e.IsDir() {
 			seqs = append(seqs, seq)
 		}
 	}
@@ -98,7 +108,7 @@ func Open(dir string, opt Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	seqs, err := listSegments(dir)
+	seqs, err := listSegments(dir, opt.SegmentPrefix)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +119,7 @@ func Open(dir string, opt Options) (*Log, error) {
 		}
 	} else {
 		seq := seqs[len(seqs)-1]
-		path := filepath.Join(dir, segmentName(seq))
+		path := filepath.Join(dir, segmentName(opt.SegmentPrefix, seq))
 		valid, err := scanValidPrefix(path)
 		if err != nil {
 			return nil, err
@@ -142,7 +152,7 @@ func Open(dir string, opt Options) (*Log, error) {
 // openSegment creates and switches to segment seq (caller holds mu or
 // is constructing the log).
 func (l *Log) openSegment(seq uint64) error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(seq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.opt.SegmentPrefix, seq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}

@@ -6,8 +6,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
-	"strings"
 )
 
 // Store layers snapshot/compaction on a Log. A snapshot captures the
@@ -52,17 +50,14 @@ func OpenStore(dir string, opt Options) (*Store, error) {
 	return &Store{dir: dir, log: l}, nil
 }
 
-func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016d.snap", seq) }
+func snapshotName(prefix string, seq uint64) string { return fmt.Sprintf("%s%016d.snap", prefix, seq) }
 
-func parseSnapshotSeq(name string) (uint64, bool) {
-	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
-		return 0, false
-	}
-	seq, err := strconv.ParseUint(name[len("snap-"):len(name)-len(".snap")], 10, 64)
-	return seq, err == nil && seq > 0
+func parseSnapshotSeq(name, prefix string) (uint64, bool) {
+	return parseSeq(name, prefix, ".snap")
 }
 
-// listSnapshots returns snapshot sequence numbers in ascending order.
+// listSnapshots returns the stream's snapshot sequence numbers in
+// ascending order.
 func (s *Store) listSnapshots() ([]uint64, error) {
 	ents, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -70,7 +65,7 @@ func (s *Store) listSnapshots() ([]uint64, error) {
 	}
 	var seqs []uint64
 	for _, e := range ents {
-		if seq, ok := parseSnapshotSeq(e.Name()); ok && !e.IsDir() {
+		if seq, ok := parseSnapshotSeq(e.Name(), s.log.opt.SnapshotPrefix); ok && !e.IsDir() {
 			seqs = append(seqs, seq)
 		}
 	}
@@ -80,7 +75,7 @@ func (s *Store) listSnapshots() ([]uint64, error) {
 
 // readSnapshot loads and checksum-validates one snapshot file.
 func (s *Store) readSnapshot(seq uint64) ([]byte, error) {
-	b, err := os.ReadFile(filepath.Join(s.dir, snapshotName(seq)))
+	b, err := os.ReadFile(filepath.Join(s.dir, snapshotName(s.log.opt.SnapshotPrefix, seq)))
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +110,7 @@ func (s *Store) Recover(restore func(snapshot []byte) error, replay func(record 
 		st.SnapshotSeq = snaps[i]
 		break
 	}
-	seqs, err := listSegments(s.dir)
+	seqs, err := listSegments(s.dir, s.log.opt.SegmentPrefix)
 	if err != nil {
 		return st, err
 	}
@@ -123,7 +118,7 @@ func (s *Store) Recover(restore func(snapshot []byte) error, replay func(record 
 		if seq < st.SnapshotSeq {
 			continue
 		}
-		n, torn, err := replaySegment(filepath.Join(s.dir, segmentName(seq)), replay)
+		n, torn, err := replaySegment(filepath.Join(s.dir, segmentName(s.log.opt.SegmentPrefix, seq)), replay)
 		st.Records += n
 		st.Segments++
 		if err != nil {
@@ -166,7 +161,7 @@ func (s *Store) BeginSnapshot() (uint64, error) { return s.log.Rotate() }
 // atomic rename leaves the previous snapshot and the full WAL intact.
 func (s *Store) CommitSnapshot(seq uint64, state []byte) error {
 	framed := appendRecord(make([]byte, 0, recordHeaderSize+len(state)), state)
-	err := WriteAtomic(filepath.Join(s.dir, snapshotName(seq)), func(w io.Writer) error {
+	err := WriteAtomic(filepath.Join(s.dir, snapshotName(s.log.opt.SnapshotPrefix, seq)), func(w io.Writer) error {
 		_, werr := w.Write(framed)
 		return werr
 	})
@@ -203,18 +198,18 @@ func (s *Store) prune() {
 	if len(snaps) >= 2 {
 		cutoff = snaps[len(snaps)-2]
 	}
-	segs, err := listSegments(s.dir)
+	segs, err := listSegments(s.dir, s.log.opt.SegmentPrefix)
 	if err != nil {
 		return
 	}
 	for _, old := range segs {
 		if old < cutoff {
-			os.Remove(filepath.Join(s.dir, segmentName(old)))
+			os.Remove(filepath.Join(s.dir, segmentName(s.log.opt.SegmentPrefix, old)))
 		}
 	}
 	for _, old := range snaps {
 		if old < cutoff {
-			os.Remove(filepath.Join(s.dir, snapshotName(old)))
+			os.Remove(filepath.Join(s.dir, snapshotName(s.log.opt.SnapshotPrefix, old)))
 		}
 	}
 }

@@ -81,11 +81,22 @@ type Options struct {
 	OnAppend func(bytes int)
 	// OnSync, if non-nil, observes every fsync's duration.
 	OnSync func(took time.Duration)
+
+	// SegmentPrefix names segment files <prefix><seq>.log (empty means
+	// "wal-"). Streams with different prefixes coexist in one directory
+	// without seeing each other's files — the sharded layout puts every
+	// shard's stream in the same per-tenant dir under its own prefix.
+	SegmentPrefix string
+	// SnapshotPrefix names snapshot files <prefix><seq>.snap (empty
+	// means "snap-").
+	SnapshotPrefix string
 }
 
 const (
-	defaultSegmentBytes = 64 << 20
-	defaultSyncInterval = 100 * time.Millisecond
+	defaultSegmentBytes   = 64 << 20
+	defaultSyncInterval   = 100 * time.Millisecond
+	defaultSegmentPrefix  = "wal-"
+	defaultSnapshotPrefix = "snap-"
 )
 
 func (o Options) withDefaults() Options {
@@ -94,6 +105,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SyncInterval <= 0 {
 		o.SyncInterval = defaultSyncInterval
+	}
+	if o.SegmentPrefix == "" {
+		o.SegmentPrefix = defaultSegmentPrefix
+	}
+	if o.SnapshotPrefix == "" {
+		o.SnapshotPrefix = defaultSnapshotPrefix
 	}
 	return o
 }

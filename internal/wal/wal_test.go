@@ -90,7 +90,7 @@ func TestLogSegmentRotation(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	seqs, err := listSegments(dir)
+	seqs, err := listSegments(dir, defaultSegmentPrefix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestCrashMatrixTornTail(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	seg := filepath.Join(src, segmentName(1))
+	seg := filepath.Join(src, segmentName(defaultSegmentPrefix, 1))
 	whole, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
@@ -138,7 +138,7 @@ func TestCrashMatrixTornTail(t *testing.T) {
 
 	for cut := lastStart; cut < len(whole); cut++ {
 		dir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), whole[:cut], 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, segmentName(defaultSegmentPrefix, 1)), whole[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		_, got, st := replayAll(t, dir, opt)
@@ -190,7 +190,7 @@ func TestCrashMatrixBitFlip(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	whole, err := os.ReadFile(filepath.Join(src, segmentName(1)))
+	whole, err := os.ReadFile(filepath.Join(src, segmentName(defaultSegmentPrefix, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestCrashMatrixBitFlip(t *testing.T) {
 		dir := t.TempDir()
 		mut := append([]byte(nil), whole...)
 		mut[off] ^= 0x40
-		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), mut, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, segmentName(defaultSegmentPrefix, 1)), mut, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		_, got, _ := replayAll(t, dir, opt)
@@ -241,7 +241,7 @@ func TestStoreSnapshotCompactionAndRecovery(t *testing.T) {
 
 	snap, got, st := replayAll(t, dir, opt)
 	// Pre-snapshot segments must be gone (compaction).
-	seqs, err := listSegments(dir)
+	seqs, err := listSegments(dir, defaultSegmentPrefix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +338,7 @@ func TestStoreCorruptSnapshotFallsBack(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, snapshotName(seq))
+	path := filepath.Join(dir, snapshotName(defaultSnapshotPrefix, seq))
 	b, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
