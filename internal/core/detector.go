@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/ucad/ucad/internal/metrics"
+	"github.com/ucad/ucad/internal/scorecache"
 	"github.com/ucad/ucad/internal/transdas"
 )
 
@@ -14,6 +15,13 @@ type Detector struct {
 	Config transdas.Config
 	// DisplayName overrides Name() (used by ablation variants).
 	DisplayName string
+
+	// ScorePrecision selects the scoring kernel applied after Fit
+	// (training always runs float64); ScoreCacheSize, when positive,
+	// attaches a similarity-row cache of that capacity. Both default to
+	// the reference path (float64, no cache).
+	ScorePrecision transdas.Precision
+	ScoreCacheSize int
 
 	model *transdas.Model
 }
@@ -55,6 +63,10 @@ func (d *Detector) Fit(train [][]int) {
 	}
 	d.model = transdas.New(cfg)
 	d.model.Train(train, nil)
+	d.model.SetScorePrecision(d.ScorePrecision)
+	if d.ScoreCacheSize > 0 {
+		d.model.SetScoreCache(scorecache.New(d.ScoreCacheSize))
+	}
 }
 
 // Flag implements metrics.Detector.

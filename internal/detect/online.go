@@ -112,8 +112,26 @@ func scorerPool(u *core.UCAD) *sync.Pool {
 // scorer built on the old model can rank for the new one. The pending
 // verified pool and alerts carry over — sessions already judged keep
 // their verdicts and still feed the next fine-tune round.
+//
+// The old model's score cache (if any) is bumped and carried onto the
+// replacement: the new weights are a new generation, so every cached
+// similarity row goes stale atomically with the swap, while the
+// lifetime hit/miss counters stay monotonic across hot swaps (the
+// Prometheus contract for the ucad_score_cache_* families). A cache
+// already attached to the incoming model is kept (and bumped) when the
+// old model had none.
 func (o *Online) SwapModel(u *core.UCAD) {
 	o.modelMu.Lock()
+	if oc := o.ucad.Model.ScoreCache(); oc != nil {
+		oc.Bump()
+		// Detach from the old model first: a straggler still holding the
+		// old detector pointer may keep scoring it, and must not insert
+		// old-weight rows into the cache the new model now owns.
+		o.ucad.Model.SetScoreCache(nil)
+		u.Model.SetScoreCache(oc)
+	} else if nc := u.Model.ScoreCache(); nc != nil {
+		nc.Bump()
+	}
 	o.ucad = u
 	o.scorers = scorerPool(u)
 	o.modelMu.Unlock()

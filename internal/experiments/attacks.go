@@ -5,7 +5,6 @@ import (
 	"io"
 	"sort"
 
-	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/workload"
 )
 
@@ -40,7 +39,7 @@ func TableAttacks(opt Options, w io.Writer) []AttackRow {
 	var out []AttackRow
 	for _, data := range Scenarios(opt) {
 		extendAttackSets(data)
-		ev := evaluate(core.NewDetector(data.Cfg), data)
+		ev := evaluate(opt.newDetector(data.Cfg), data)
 		fp := ev.Confusion.FP
 
 		var fams []string

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"github.com/ucad/ucad/internal/baselines"
-	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/metrics"
 	"github.com/ucad/ucad/internal/transdas"
 	"github.com/ucad/ucad/internal/workload"
@@ -94,7 +93,7 @@ type Table2Result struct {
 func Table2(opt Options, w io.Writer) []Table2Result {
 	var out []Table2Result
 	for _, data := range Scenarios(opt) {
-		detectors := append(baselineSet(opt), core.NewDetector(data.Cfg))
+		detectors := append(baselineSet(opt), opt.newDetector(data.Cfg))
 		res := Table2Result{Scenario: data.Name}
 		for _, d := range detectors {
 			res.Rows = append(res.Rows, evaluate(d, data))
@@ -120,7 +119,7 @@ func Table3(opt Options, w io.Writer) []Table3Result {
 	for _, data := range Scenarios(opt) {
 		res := Table3Result{Scenario: data.Name}
 		for _, name := range ablationOrder {
-			d := core.NewDetector(ablationVariant(data.Cfg, name))
+			d := opt.newDetector(ablationVariant(data.Cfg, name))
 			d.DisplayName = name
 			res.Rows = append(res.Rows, evaluate(d, data))
 		}
@@ -164,9 +163,9 @@ func (o Options) lGrid() []int {
 
 // runSweepPoint trains a UCAD variant with the mutated config and
 // measures per-epoch training time and F1 on Scenario-II data.
-func runSweepPoint(data *ScenarioData, mutate func(cfg *ScenarioData) (label int)) SweepPoint {
+func runSweepPoint(opt Options, data *ScenarioData, mutate func(cfg *ScenarioData) (label int)) SweepPoint {
 	label := mutate(data)
-	d := core.NewDetector(data.Cfg)
+	d := opt.newDetector(data.Cfg)
 	start := time.Now()
 	d.Fit(data.Train)
 	perEpoch := time.Duration(int64(time.Since(start)) / int64(data.Cfg.Epochs))
@@ -187,7 +186,7 @@ func Table4(opt Options, w io.Writer) []SweepPoint {
 		for h%data.Cfg.Heads != 0 {
 			data.Cfg.Heads--
 		}
-		out = append(out, runSweepPoint(data, func(d *ScenarioData) int { return h }))
+		out = append(out, runSweepPoint(opt, data, func(d *ScenarioData) int { return h }))
 	}
 	if w != nil {
 		printSweep(w, fmt.Sprintf("Table 4: latent dimension h (Scenario-II, scale=%s)", opt.Scale), "h", out)
@@ -202,7 +201,7 @@ func Table5(opt Options, w io.Writer) []SweepPoint {
 	for _, l := range opt.lGrid() {
 		data := PrepareScenarioII(opt)
 		data.Cfg.Window = l
-		out = append(out, runSweepPoint(data, func(d *ScenarioData) int { return l }))
+		out = append(out, runSweepPoint(opt, data, func(d *ScenarioData) int { return l }))
 	}
 	if w != nil {
 		printSweep(w, fmt.Sprintf("Table 5: input size L (Scenario-II, scale=%s)", opt.Scale), "L", out)
@@ -243,7 +242,7 @@ func Table6(opt Options, w io.Writer) []Table6Result {
 		}
 		cfg := logTaskConfig(opt)
 		cfg.TopP = cutoff + 1
-		ucad := core.NewDetector(cfg)
+		ucad := opt.newDetector(cfg)
 		dl := baselines.NewDeepLog(opt.Seed)
 		dl.TopG = cutoff
 		if opt.Scale == ScaleQuick {

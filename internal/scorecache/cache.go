@@ -1,0 +1,338 @@
+// Package scorecache memoizes Trans-DAS similarity vectors keyed by
+// the scored context. Production SQL workloads come from a small task
+// grammar, so the same (context → similarity row) pairs recur
+// constantly; a cache hit replaces a full transformer forward pass with
+// a hash, a shard-local map probe and one vector copy.
+//
+// Correctness under weight changes is generation-based: the cache owns
+// a monotonically increasing generation counter, every entry is stamped
+// with the generation it was scored under, and any weight mutation
+// (fine-tune round, hot model swap) bumps the counter — entries from
+// earlier generations fail validation on lookup and can never be
+// served. Invalidation is therefore O(1) regardless of cache size; the
+// stale entries are dropped lazily as they are probed or evicted.
+//
+// The cache is sharded by key hash across a power-of-two number of
+// locks, so concurrent scoring goroutines on different contexts rarely
+// contend. One Cache is intended per model (per tenant / per engine in
+// the serving layer), keeping the shard-local hot path lock-cheap.
+package scorecache
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// FNV-1a constants, applied per context key (not per byte): the key
+// stream is short (≤ the model window) and the avalanche from the
+// 64-bit multiply per element is plenty for shard + map distribution.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// maxShards bounds the lock striping; past this the shards outnumber
+// any plausible scoring-goroutine count.
+const maxShards = 64
+
+// Stats is a point-in-time snapshot of the cache counters. Hits,
+// Misses and Evictions are lifetime-monotonic (safe to export as
+// Prometheus counters across model swaps); Entries is a gauge.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int64  `json:"entries"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one cached similarity row with its exact key material:
+// lookups compare the full context, so a 64-bit hash collision degrades
+// to a miss (or an overwrite on Put), never a wrong score.
+type entry struct {
+	hash uint64
+	keys []int32
+	gen  uint64
+	sims []float64
+
+	// Intrusive LRU list links within the owning shard.
+	prev, next *entry
+}
+
+// shard is one lock stripe: a hash-indexed map plus an LRU list whose
+// head is the most recently used entry.
+type shard struct {
+	mu   sync.Mutex
+	m    map[uint64]*entry
+	head *entry
+	tail *entry
+	n    int
+}
+
+// Cache is a sharded, generation-validated LRU score cache. The zero
+// value is not usable; construct with New. All methods are safe for
+// concurrent use.
+type Cache struct {
+	shards    []shard
+	mask      uint64
+	perShard  int
+	gen       atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	entries   atomic.Int64
+}
+
+// New builds a cache holding at most capacity entries, striped across a
+// power-of-two shard count sized to the host's parallelism. A capacity
+// < 1 is raised to 1.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	nshards := 1
+	for nshards < runtime.GOMAXPROCS(0) && nshards < maxShards {
+		nshards <<= 1
+	}
+	if nshards > capacity {
+		nshards = 1
+	}
+	per := (capacity + nshards - 1) / nshards
+	c := &Cache{
+		shards:   make([]shard, nshards),
+		mask:     uint64(nshards - 1),
+		perShard: per,
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]*entry, per)
+	}
+	return c
+}
+
+// Cap returns the total entry capacity.
+func (c *Cache) Cap() int { return c.perShard * len(c.shards) }
+
+// Shards returns the lock-stripe count (always a power of two).
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// Gen returns the current generation. Entries stored under an earlier
+// generation never validate on lookup.
+func (c *Cache) Gen() uint64 { return c.gen.Load() }
+
+// Bump advances the generation, invalidating every cached score in
+// O(1). Call it after any model weight mutation (fine-tune, hot swap).
+func (c *Cache) Bump() { c.gen.Add(1) }
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.entries.Load(),
+	}
+}
+
+// Len returns the live entry count (stale-generation entries included
+// until they are probed or evicted).
+func (c *Cache) Len() int { return int(c.entries.Load()) }
+
+// hashKeys mixes the context keys FNV-1a style. ok is false when a key
+// does not fit int32 — such contexts are never cached (the stored key
+// material is int32, and a silent truncation could alias two different
+// contexts).
+func hashKeys(keys []int) (h uint64, ok bool) {
+	h = fnvOffset64
+	for _, k := range keys {
+		if k < math.MinInt32 || k > math.MaxInt32 {
+			return 0, false
+		}
+		h ^= uint64(uint32(int32(k)))
+		h *= fnvPrime64
+	}
+	return h, true
+}
+
+// keysEqual compares the exact stored key material with a lookup
+// context.
+func keysEqual(stored []int32, keys []int) bool {
+	if len(stored) != len(keys) {
+		return false
+	}
+	for i, k := range keys {
+		if stored[i] != int32(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// GetInto looks keys up and, on a current-generation hit, copies the
+// cached similarity row into dst (which must be sized by the caller)
+// and returns true. A stale-generation entry is removed and counts as a
+// miss.
+func (c *Cache) GetInto(dst []float64, keys []int) bool {
+	h, ok := hashKeys(keys)
+	if !ok {
+		c.misses.Add(1)
+		return false
+	}
+	gen := c.gen.Load()
+	sh := &c.shards[h&c.mask]
+	sh.mu.Lock()
+	e := sh.m[h]
+	if e == nil || !keysEqual(e.keys, keys) {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return false
+	}
+	if e.gen != gen {
+		// Superseded by a weight change: drop it so the slot is free for
+		// the rescore.
+		sh.remove(e)
+		sh.mu.Unlock()
+		c.entries.Add(-1)
+		c.misses.Add(1)
+		return false
+	}
+	sh.touch(e)
+	copy(dst, e.sims)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return true
+}
+
+// Put stores a similarity row for keys under the current generation,
+// copying both. Use PutGen with a generation captured before scoring
+// when a concurrent Bump between scoring and insertion is possible.
+func (c *Cache) Put(keys []int, sims []float64) {
+	c.PutGen(keys, sims, c.gen.Load())
+}
+
+// PutGen stores a similarity row stamped with gen — the generation the
+// caller read before running the forward pass. If the cache has been
+// bumped since, the entry is stored already-stale and will never be
+// served, so a score computed against pre-swap weights cannot leak past
+// the swap.
+func (c *Cache) PutGen(keys []int, sims []float64, gen uint64) {
+	h, ok := hashKeys(keys)
+	if !ok {
+		return
+	}
+	sh := &c.shards[h&c.mask]
+	sh.mu.Lock()
+	if e := sh.m[h]; e != nil {
+		// Same hash: refresh in place (covers both a rescore of the same
+		// context and the rare collision, which simply adopts the new
+		// context's key material).
+		if cap(e.keys) >= len(keys) {
+			e.keys = e.keys[:len(keys)]
+		} else {
+			e.keys = make([]int32, len(keys))
+		}
+		for i, k := range keys {
+			e.keys[i] = int32(k)
+		}
+		if cap(e.sims) >= len(sims) {
+			e.sims = e.sims[:len(sims)]
+		} else {
+			e.sims = make([]float64, len(sims))
+		}
+		copy(e.sims, sims)
+		e.gen = gen
+		sh.touch(e)
+		sh.mu.Unlock()
+		return
+	}
+	var evicted bool
+	if sh.n >= c.perShard {
+		sh.evictOldest()
+		evicted = true
+	}
+	e := &entry{
+		hash: h,
+		keys: make([]int32, len(keys)),
+		gen:  gen,
+		sims: append([]float64(nil), sims...),
+	}
+	for i, k := range keys {
+		e.keys[i] = int32(k)
+	}
+	sh.insert(e)
+	sh.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	} else {
+		c.entries.Add(1)
+	}
+}
+
+// insert adds e at the LRU head. Caller holds the shard lock.
+func (s *shard) insert(e *entry) {
+	s.m[e.hash] = e
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+	s.n++
+}
+
+// remove unlinks e. Caller holds the shard lock.
+func (s *shard) remove(e *entry) {
+	delete(s.m, e.hash)
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	s.n--
+}
+
+// touch moves e to the LRU head. Caller holds the shard lock.
+func (s *shard) touch(e *entry) {
+	if s.head == e {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+}
+
+// evictOldest drops the LRU tail. Caller holds the shard lock.
+func (s *shard) evictOldest() {
+	if s.tail != nil {
+		s.remove(s.tail)
+	}
+}

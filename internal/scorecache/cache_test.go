@@ -1,0 +1,237 @@
+package scorecache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func ctxOf(keys ...int) []int { return keys }
+
+func simsOf(n int, base float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = base + float64(i)
+	}
+	return s
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(8)
+	keys := ctxOf(1, 2, 3)
+	want := simsOf(5, 0.25)
+	dst := make([]float64, 5)
+	if c.GetInto(dst, keys) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(keys, want)
+	if !c.GetInto(dst, keys) {
+		t.Fatal("miss after Put")
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	// The cache stores a copy: mutating the put slice must not bleed in.
+	want[0] = -1
+	if !c.GetInto(dst, keys) || dst[0] == -1 {
+		t.Fatal("cache aliased the caller's sims slice")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 miss, 1 entry", st)
+	}
+}
+
+func TestExactKeyComparison(t *testing.T) {
+	c := New(8)
+	c.Put(ctxOf(1, 2, 3), simsOf(4, 1))
+	dst := make([]float64, 4)
+	// Same prefix, different length or trailing key: must miss.
+	if c.GetInto(dst, ctxOf(1, 2)) {
+		t.Fatal("prefix context hit")
+	}
+	if c.GetInto(dst, ctxOf(1, 2, 4)) {
+		t.Fatal("different trailing key hit")
+	}
+	if !c.GetInto(dst, ctxOf(1, 2, 3)) {
+		t.Fatal("exact context missed")
+	}
+}
+
+func TestGenerationInvalidation(t *testing.T) {
+	c := New(8)
+	keys := ctxOf(7, 8)
+	c.Put(keys, simsOf(3, 2))
+	dst := make([]float64, 3)
+	if !c.GetInto(dst, keys) {
+		t.Fatal("miss before bump")
+	}
+	c.Bump()
+	if c.GetInto(dst, keys) {
+		t.Fatal("stale entry served after Bump")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry not dropped on probe: len = %d", c.Len())
+	}
+	// Re-put under the new generation serves again.
+	c.Put(keys, simsOf(3, 9))
+	if !c.GetInto(dst, keys) || dst[0] != 9 {
+		t.Fatalf("post-bump rescore not served: %v", dst)
+	}
+}
+
+func TestPutGenStaleNeverServed(t *testing.T) {
+	c := New(8)
+	keys := ctxOf(4, 5, 6)
+	gen := c.Gen()
+	c.Bump() // a swap lands between scoring and insertion
+	c.PutGen(keys, simsOf(3, 1), gen)
+	dst := make([]float64, 3)
+	if c.GetInto(dst, keys) {
+		t.Fatal("pre-bump score served after the bump")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(1) // forces 1 shard with capacity 1
+	if c.Shards() != 1 || c.Cap() != 1 {
+		t.Fatalf("cap-1 cache got %d shards cap %d", c.Shards(), c.Cap())
+	}
+	dst := make([]float64, 2)
+	c.Put(ctxOf(1), simsOf(2, 1))
+	c.Put(ctxOf(2), simsOf(2, 2))
+	if c.GetInto(dst, ctxOf(1)) {
+		t.Fatal("evicted entry still served")
+	}
+	if !c.GetInto(dst, ctxOf(2)) {
+		t.Fatal("newest entry evicted instead of oldest")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 eviction, 1 entry", st)
+	}
+}
+
+func TestLRUOrderWithinShard(t *testing.T) {
+	// A dedicated single-shard cache of 2: touching the older entry
+	// flips which one the next insert evicts.
+	c := &Cache{shards: make([]shard, 1), mask: 0, perShard: 2}
+	c.shards[0].m = make(map[uint64]*entry, 2)
+	dst := make([]float64, 2)
+	c.Put(ctxOf(1), simsOf(2, 1))
+	c.Put(ctxOf(2), simsOf(2, 2))
+	if !c.GetInto(dst, ctxOf(1)) { // 1 becomes most recent
+		t.Fatal("entry 1 missing")
+	}
+	c.Put(ctxOf(3), simsOf(2, 3)) // must evict 2
+	if c.GetInto(dst, ctxOf(2)) {
+		t.Fatal("LRU evicted the recently used entry")
+	}
+	if !c.GetInto(dst, ctxOf(1)) || !c.GetInto(dst, ctxOf(3)) {
+		t.Fatal("survivors missing after eviction")
+	}
+}
+
+func TestOutOfRangeKeysNeverCached(t *testing.T) {
+	c := New(8)
+	huge := ctxOf(1 << 40)
+	c.Put(huge, simsOf(2, 1))
+	dst := make([]float64, 2)
+	if c.GetInto(dst, huge) {
+		t.Fatal("out-of-int32-range context was cached")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after refusing an uncacheable context", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(256)
+	const goroutines = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]float64, 4)
+			for i := 0; i < iters; i++ {
+				keys := ctxOf(g, i%64)
+				if !c.GetInto(dst, keys) {
+					c.Put(keys, simsOf(4, float64(g)))
+				}
+				if i%500 == 0 && g == 0 {
+					c.Bump()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != goroutines*iters {
+		t.Fatalf("lookup accounting drifted: %+v over %d lookups", st, goroutines*iters)
+	}
+	if int(st.Entries) > c.Cap() {
+		t.Fatalf("entries %d exceed capacity %d", st.Entries, c.Cap())
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	c := New(1024)
+	if c.Shards()&(c.Shards()-1) != 0 {
+		t.Fatalf("shard count %d is not a power of two", c.Shards())
+	}
+	for i := 0; i < 512; i++ {
+		c.Put(ctxOf(i, i+1, i*3), simsOf(2, float64(i)))
+	}
+	dst := make([]float64, 2)
+	for i := 0; i < 512; i++ {
+		if !c.GetInto(dst, ctxOf(i, i+1, i*3)) {
+			t.Fatalf("context %d missing from an under-capacity cache", i)
+		}
+		if dst[0] != float64(i) {
+			t.Fatalf("context %d returned the wrong row: %v", i, dst[0])
+		}
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatal("zero stats should report rate 0")
+	}
+	s = Stats{Hits: 95, Misses: 5}
+	if r := s.HitRate(); r != 0.95 {
+		t.Fatalf("rate = %v, want 0.95", r)
+	}
+}
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := New(4096)
+	sims := simsOf(600, 0.5)
+	dst := make([]float64, 600)
+	keys := make([][]int, 64)
+	for i := range keys {
+		keys[i] = []int{i, i + 1, i + 2, i * 7 % 100}
+		c.Put(keys[i], sims)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.GetInto(dst, keys[i%len(keys)]) {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	// Exercise the struct's JSON-ish field layout indirectly — the serve
+	// layer embeds these fields in /stats.
+	st := Stats{Hits: 1, Misses: 2, Evictions: 3, Entries: 4}
+	got := fmt.Sprintf("%d/%d/%d/%d", st.Hits, st.Misses, st.Evictions, st.Entries)
+	if got != "1/2/3/4" {
+		t.Fatal(got)
+	}
+}

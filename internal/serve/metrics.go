@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/ucad/ucad/internal/obs"
+	"github.com/ucad/ucad/internal/scorecache"
 )
 
 // DefaultTenant is the tenant label under which a single-tenant
@@ -137,6 +138,9 @@ func NewMetricsHub(reg *obs.Registry) *MetricsHub {
 	cfv("ucad_checkpoint_errors_total", "Model checkpoints that failed to write or validate (rolled back).")
 	cfv("ucad_feed_unknown_keys_total", "Ingested statements whose template is absent from the trained vocabulary (mapped to the reserved UNK key and always flagged).")
 	cfv("ucad_feed_duplicate_events_total", "Redelivered events acknowledged without re-scoring (sequence number already covered by the open session).")
+	cfv("ucad_score_cache_hits_total", "Similarity-row lookups served from the score cache (forward pass skipped).")
+	cfv("ucad_score_cache_misses_total", "Similarity-row lookups that fell through to the scoring kernel.")
+	cfv("ucad_score_cache_evictions_total", "Live score-cache entries displaced by LRU capacity pressure.")
 	gfv("ucad_sessions_open", "Currently open sessions.")
 	gfv("ucad_alerts_open", "Alerts awaiting an expert verdict.")
 	gfv("ucad_verified_pool", "Verified-normal sessions awaiting the next fine-tune round.")
@@ -147,6 +151,7 @@ func NewMetricsHub(reg *obs.Registry) *MetricsHub {
 	gfv("ucad_uptime_seconds", "Seconds since the service was constructed.")
 	gfv("ucad_wal_recovered_sessions", "Open sessions rebuilt from the WAL/snapshot at the last Restore.")
 	gfv("ucad_wal_segment_bytes", "Size of the active WAL segment (rotates at the configured cap).")
+	gfv("ucad_score_cache_entries", "Similarity rows currently resident in the score cache.")
 	return h
 }
 
@@ -323,6 +328,21 @@ func (m *Metrics) bind(s *Service) {
 	cf("ucad_checkpoint_errors_total", s.ckptErrors.Load)
 	cf("ucad_feed_unknown_keys_total", s.unknownKeys.Load)
 	cf("ucad_feed_duplicate_events_total", s.dupEvents.Load)
+	// Score-cache families read through the online loop, which owns the
+	// cache hand-off across hot swaps (counters stay monotonic: SwapModel
+	// carries the cache object onto the replacement model).
+	cacheStats := func() scorecache.Stats {
+		if c := s.online.Detector().Model.ScoreCache(); c != nil {
+			return c.Stats()
+		}
+		return scorecache.Stats{}
+	}
+	cf("ucad_score_cache_hits_total",
+		func() int64 { return int64(cacheStats().Hits) })
+	cf("ucad_score_cache_misses_total",
+		func() int64 { return int64(cacheStats().Misses) })
+	cf("ucad_score_cache_evictions_total",
+		func() int64 { return int64(cacheStats().Evictions) })
 	gf("ucad_sessions_open", func() float64 { return float64(s.openCount()) })
 	gf("ucad_alerts_open", func() float64 { return float64(s.alerts.openCount()) })
 	gf("ucad_verified_pool",
@@ -337,6 +357,8 @@ func (m *Metrics) bind(s *Service) {
 		func() float64 { return s.cfg.Clock().Sub(s.start).Seconds() })
 	gf("ucad_wal_recovered_sessions",
 		func() float64 { return float64(s.recovered.Load()) })
+	gf("ucad_score_cache_entries",
+		func() float64 { return float64(cacheStats().Entries) })
 	gf("ucad_wal_segment_bytes",
 		func() float64 {
 			if !s.ready.Load() {

@@ -10,6 +10,7 @@ import (
 	"github.com/ucad/ucad/internal/core"
 	"github.com/ucad/ucad/internal/detect"
 	"github.com/ucad/ucad/internal/obs"
+	"github.com/ucad/ucad/internal/scorecache"
 	"github.com/ucad/ucad/internal/sqlnorm"
 	"github.com/ucad/ucad/internal/wal"
 )
@@ -549,6 +550,15 @@ type Stats struct {
 	RecoveredSessions int64   `json:"recovered_sessions"`
 	UnknownKeys       int64   `json:"unknown_keys"`
 	DuplicateEvents   int64   `json:"duplicate_events"`
+
+	// Score-cache counters (all zero when no cache is attached). HitRate
+	// is hits/(hits+misses) over the service lifetime — the cache object
+	// survives hot model swaps, so the ratio never resets mid-flight.
+	ScoreCacheHits      int64   `json:"score_cache_hits"`
+	ScoreCacheMisses    int64   `json:"score_cache_misses"`
+	ScoreCacheEvictions int64   `json:"score_cache_evictions"`
+	ScoreCacheEntries   int64   `json:"score_cache_entries"`
+	ScoreCacheHitRate   float64 `json:"score_cache_hit_rate"`
 }
 
 // Stats snapshots the serving counters.
@@ -556,6 +566,10 @@ func (s *Service) Stats() Stats {
 	scored, opsRejected := s.engine.Counts()
 	_, closed := s.asmCounts()
 	processed, flagged := s.online.Stats()
+	var cs scorecache.Stats
+	if c := s.online.Detector().Model.ScoreCache(); c != nil {
+		cs = c.Stats()
+	}
 	return Stats{
 		UptimeSeconds:     s.cfg.Clock().Sub(s.start).Seconds(),
 		EventsAccepted:    s.accepted.Load(),
@@ -579,5 +593,11 @@ func (s *Service) Stats() Stats {
 		RecoveredSessions: s.recovered.Load(),
 		UnknownKeys:       s.unknownKeys.Load(),
 		DuplicateEvents:   s.dupEvents.Load(),
+
+		ScoreCacheHits:      int64(cs.Hits),
+		ScoreCacheMisses:    int64(cs.Misses),
+		ScoreCacheEvictions: int64(cs.Evictions),
+		ScoreCacheEntries:   cs.Entries,
+		ScoreCacheHitRate:   cs.HitRate(),
 	}
 }

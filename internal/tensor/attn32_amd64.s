@@ -1,0 +1,79 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func QKScores8(dst, q, k []float32, stride int)
+//
+// dst[j] = Σ_{c<8} q[c]*k[j*stride+c]. The eight-wide query row stays
+// resident in X0/X1; each key row is one strided load pair, multiplied
+// and folded horizontally (0+4, 1+5, 2+6, 3+7, then pairwise).
+TEXT ·QKScores8(SB), NOSPLIT, $0-80
+	MOVQ	dst_base+0(FP), DI
+	MOVQ	dst_len+8(FP), CX
+	TESTQ	CX, CX
+	JZ	qkdone
+	MOVQ	q_base+24(FP), SI
+	MOVQ	k_base+48(FP), R8
+	MOVQ	stride+72(FP), R9
+	SHLQ	$2, R9		// element stride -> byte stride
+	MOVUPS	(SI), X0
+	MOVUPS	16(SI), X1
+
+qkloop:
+	MOVUPS	(R8), X2
+	MOVUPS	16(R8), X3
+	MULPS	X0, X2
+	MULPS	X1, X3
+	ADDPS	X3, X2		// lanes: q0k0+q4k4, q1k1+q5k5, q2k2+q6k6, q3k3+q7k7
+	MOVHLPS	X2, X3		// X3 low pair = X2 high pair
+	ADDPS	X2, X3		// lane0 = l0+l2, lane1 = l1+l3
+	MOVAPS	X3, X4
+	SHUFPS	$0x55, X4, X4	// broadcast lane1
+	ADDSS	X4, X3		// lane0 = l0+l2+l1+l3
+	MOVSS	X3, (DI)
+
+	ADDQ	R9, R8
+	ADDQ	$4, DI
+	DECQ	CX
+	JNZ	qkloop
+
+qkdone:
+	RET
+
+// func AttnV8(out, w, v []float32, stride int)
+//
+// out[0:8] += w[j]*v[j*stride : +8] for every j. The eight output
+// lanes accumulate in X0/X1 across the whole weight row and store
+// once, so per-lane add order matches the scalar loop exactly.
+TEXT ·AttnV8(SB), NOSPLIT, $0-80
+	MOVQ	w_base+24(FP), SI
+	MOVQ	w_len+32(FP), CX
+	TESTQ	CX, CX
+	JZ	avdone
+	MOVQ	out_base+0(FP), DI
+	MOVQ	v_base+48(FP), R8
+	MOVQ	stride+72(FP), R9
+	SHLQ	$2, R9
+	MOVUPS	(DI), X0
+	MOVUPS	16(DI), X1
+
+avloop:
+	MOVSS	(SI), X2
+	SHUFPS	$0x00, X2, X2
+	MOVUPS	(R8), X3
+	MOVUPS	16(R8), X4
+	MULPS	X2, X3
+	MULPS	X2, X4
+	ADDPS	X3, X0
+	ADDPS	X4, X1
+
+	ADDQ	$4, SI
+	ADDQ	R9, R8
+	DECQ	CX
+	JNZ	avloop
+
+	MOVUPS	X0, (DI)
+	MOVUPS	X1, 16(DI)
+
+avdone:
+	RET

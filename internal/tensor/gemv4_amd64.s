@@ -1,0 +1,143 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemv4(dst, a, b []float32)
+//
+// dst[j] += a[0]*b0[j] + a[1]*b1[j] + a[2]*b2[j] + a[3]*b3[j] + ... for
+// each successive quartet of a, where bk is row k of the len(a) x
+// len(dst) row-major block b. Per element the adds run strictly left to
+// right within a quartet and quartets ascend, so the result is bitwise
+// identical to the generic Go kernel. The inner loop processes eight
+// lanes per iteration with SSE2 packed single ops (amd64 baseline — no
+// feature detection required); a scalar loop finishes the ragged lane
+// tail, and all-zero quartets (padded or masked inputs) are skipped.
+//
+// Register use: DI dst base, CX lane count, SI a walk, R12 quartet
+// count, R11 current quartet's first b row; per quartet R8/R9/R10/R14
+// walk the four b rows and DX walks dst, with BX/AX as loop counters.
+TEXT ·gemv4(SB), NOSPLIT, $0-72
+	MOVQ	dst_base+0(FP), DI
+	MOVQ	dst_len+8(FP), CX
+	MOVQ	a_base+24(FP), SI
+	MOVQ	a_len+32(FP), R12
+	MOVQ	b_base+48(FP), R11
+	SHRQ	$2, R12
+	JZ	done
+	TESTQ	CX, CX
+	JZ	done
+
+quartet:
+	// X8 = [a0 a1 a2 a3]; skip the quartet when every lane == 0
+	// (CMPPS matches the generic kernel's a==0 test, so -0 skips too).
+	MOVUPS	(SI), X8
+	XORPS	X9, X9
+	CMPPS	X8, X9, $0
+	MOVMSKPS X9, AX
+	CMPL	AX, $15
+	JEQ	nextq
+
+	// Broadcast the four coefficients across all lanes.
+	MOVAPS	X8, X0
+	SHUFPS	$0x00, X0, X0
+	MOVAPS	X8, X1
+	SHUFPS	$0x55, X1, X1
+	MOVAPS	X8, X2
+	SHUFPS	$0xAA, X2, X2
+	MOVAPS	X8, X3
+	SHUFPS	$0xFF, X3, X3
+
+	// The quartet's four b rows and the dst walk.
+	MOVQ	R11, R8
+	LEAQ	(R8)(CX*4), R9
+	LEAQ	(R9)(CX*4), R10
+	LEAQ	(R10)(CX*4), R14
+	MOVQ	DI, DX
+
+	MOVQ	CX, BX
+	SHRQ	$3, BX
+	JZ	tail
+
+loop8:
+	// t = b0*a0
+	MOVUPS	(R8), X4
+	MOVUPS	16(R8), X5
+	MULPS	X0, X4
+	MULPS	X0, X5
+	// t += b1*a1
+	MOVUPS	(R9), X6
+	MOVUPS	16(R9), X7
+	MULPS	X1, X6
+	MULPS	X1, X7
+	ADDPS	X6, X4
+	ADDPS	X7, X5
+	// t += b2*a2
+	MOVUPS	(R10), X6
+	MOVUPS	16(R10), X7
+	MULPS	X2, X6
+	MULPS	X2, X7
+	ADDPS	X6, X4
+	ADDPS	X7, X5
+	// t += b3*a3
+	MOVUPS	(R14), X6
+	MOVUPS	16(R14), X7
+	MULPS	X3, X6
+	MULPS	X3, X7
+	ADDPS	X6, X4
+	ADDPS	X7, X5
+	// dst += t (t + dst == dst + t bitwise for IEEE adds)
+	MOVUPS	(DX), X6
+	MOVUPS	16(DX), X7
+	ADDPS	X6, X4
+	ADDPS	X7, X5
+	MOVUPS	X4, (DX)
+	MOVUPS	X5, 16(DX)
+
+	ADDQ	$32, R8
+	ADDQ	$32, R9
+	ADDQ	$32, R10
+	ADDQ	$32, R14
+	ADDQ	$32, DX
+	DECQ	BX
+	JNZ	loop8
+
+tail:
+	MOVQ	CX, AX
+	ANDQ	$7, AX
+	JZ	nextq
+
+loop1:
+	MOVSS	(R8), X4
+	MULSS	X0, X4
+	MOVSS	(R9), X5
+	MULSS	X1, X5
+	ADDSS	X5, X4
+	MOVSS	(R10), X5
+	MULSS	X2, X5
+	ADDSS	X5, X4
+	MOVSS	(R14), X5
+	MULSS	X3, X5
+	ADDSS	X5, X4
+	MOVSS	(DX), X5
+	ADDSS	X5, X4
+	MOVSS	X4, (DX)
+
+	ADDQ	$4, R8
+	ADDQ	$4, R9
+	ADDQ	$4, R10
+	ADDQ	$4, R14
+	ADDQ	$4, DX
+	DECQ	AX
+	JNZ	loop1
+
+nextq:
+	// Advance to the next quartet: b forward four rows, a by 16 bytes.
+	MOVQ	CX, AX
+	SHLQ	$4, AX
+	ADDQ	AX, R11
+	ADDQ	$16, SI
+	DECQ	R12
+	JNZ	quartet
+
+done:
+	RET

@@ -1,0 +1,39 @@
+//go:build amd64
+
+package tensor
+
+// matMul32 computes one output row per gemv4 call: the assembly kernel
+// walks the k-quartets and the packed j-lanes itself, so the Go side
+// pays one call per row instead of one per k-quartet. SSE2 is part of
+// the amd64 baseline, so no runtime feature detection is needed. The
+// scalar k-tail keeps the same left-to-right add order as the kernel,
+// so results match the generic build bitwise.
+func matMul32(dst, a, b *Matrix32) {
+	n, bc := a.Cols, b.Cols
+	kq := n &^ 3
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		drow := dst.Data[i*bc : (i+1)*bc]
+		if kq > 0 {
+			gemv4(drow, arow[:kq], b.Data[:kq*bc])
+		}
+		for k := kq; k < n; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*bc : (k+1)*bc]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// gemv4 computes dst[j] += Σ_k a[k]*b[k*len(dst)+j] over k-quartets:
+// len(a) must be a multiple of 4 and len(b) >= len(a)*len(dst).
+// All-zero a-quartets are skipped exactly as in the generic kernel.
+// Implemented in gemv4_amd64.s.
+//
+//go:noescape
+func gemv4(dst, a, b []float32)

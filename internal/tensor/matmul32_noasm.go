@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+// matMul32 falls back to the portable register-blocked kernel on
+// targets without the packed-SSE axpy4 implementation.
+func matMul32(dst, a, b *Matrix32) { matMul32Generic(dst, a, b) }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/ucad/ucad/internal/nn"
+	"github.com/ucad/ucad/internal/scorecache"
 	"github.com/ucad/ucad/internal/tensor"
 )
 
@@ -47,6 +48,18 @@ type Model struct {
 	// CE-only objective because no negative key exists to sample).
 	negWarn         sync.Once
 	degenerateVocab atomic.Bool
+
+	// Inference fast-path state (see scorer32.go and scorecache):
+	// scoreCache memoizes similarity rows by context (nil = disabled),
+	// prec32 selects the float32 scoring kernel, weightGen counts weight
+	// mutations (every train/fine-tune round bumps it), and snap32 holds
+	// the frozen single-precision weight snapshot for the current
+	// generation, rebuilt lazily under snapMu after a weight change.
+	scoreCache atomic.Pointer[scorecache.Cache]
+	prec32     atomic.Bool
+	weightGen  atomic.Uint64
+	snap32     atomic.Pointer[snapshot32]
+	snapMu     sync.Mutex
 }
 
 // New builds a model from the configuration. It panics on an invalid
@@ -99,6 +112,44 @@ func (m *Model) SetTrainParallelism(workers, batchSize int) {
 
 // Params returns the trainable parameters (implements nn.Module).
 func (m *Model) Params() []*tensor.Param { return m.params }
+
+// SetScoreCache attaches (or, with nil, detaches) a similarity-row
+// cache consulted by every Scorer before the forward pass. The cache
+// must be bumped on every weight change; Train/FineTune do so
+// automatically for the attached cache, and detect.Online.SwapModel
+// carries the old model's cache (bumped) onto its replacement so the
+// lifetime hit/miss counters stay monotonic across hot swaps.
+func (m *Model) SetScoreCache(c *scorecache.Cache) { m.scoreCache.Store(c) }
+
+// ScoreCache returns the attached score cache (nil when disabled).
+func (m *Model) ScoreCache() *scorecache.Cache { return m.scoreCache.Load() }
+
+// SetScorePrecision selects the scoring kernel: PrecisionFloat64 (the
+// default — the training/reference path, exact to 1e-9 against the tape
+// forward) or PrecisionFloat32 (the single-precision fast path, within
+// 1e-4 of the reference and rank-stable on the paper's workloads).
+// Training always runs in float64 regardless of this setting.
+func (m *Model) SetScorePrecision(p Precision) { m.prec32.Store(p == PrecisionFloat32) }
+
+// ScorePrecision reports the active scoring kernel precision.
+func (m *Model) ScorePrecision() Precision {
+	if m.prec32.Load() {
+		return PrecisionFloat32
+	}
+	return PrecisionFloat64
+}
+
+// bumpWeightGen records a weight mutation: the float32 snapshot is
+// invalidated (rebuilt lazily on the next float32 score) and every
+// cached similarity row becomes stale. Called by train() after each
+// Train/FineTune round, under whatever lock serializes training against
+// scoring (detect.Online's model write-lock in the serving layer).
+func (m *Model) bumpWeightGen() {
+	m.weightGen.Add(1)
+	if c := m.scoreCache.Load(); c != nil {
+		c.Bump()
+	}
+}
 
 // forward runs the stacked attention blocks over a key window of length
 // ≤ cfg.Window and returns the L x h output O^(B) (Eqs. 8–9). Dropout

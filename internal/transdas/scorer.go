@@ -29,9 +29,12 @@ import (
 type Scorer struct {
 	m *Model
 
-	// kind mask cache for the current padded length.
+	// kind mask, cached per padded length: session scans score growing
+	// prefixes whose padded length changes chunk to chunk, so a
+	// single-length cache would rebuild the mask almost every pass.
+	// Bounded by cfg.Window distinct lengths.
 	mask  *tensor.Matrix
-	maskL int
+	masks map[int]*tensor.Matrix
 
 	// Per-pass geometry: kernel slot -> batch index, and each slot's
 	// real (truncated) context.
@@ -56,11 +59,20 @@ type Scorer struct {
 	ffnL *tensor.Matrix
 	outL *tensor.Matrix
 
-	// rank scratch and single-item wrapper headers.
-	sims   [][]float64
-	ranks  []int
-	oneCtx [1][]int
-	oneOut [1][]float64
+	// Single-precision scratch, allocated only when the model scores
+	// through the float32 kernel (see scorer32.go).
+	x32, qkv32, att32, sub32, ffnH32 *tensor.Matrix32
+	scores32                         []float32
+	attL32, subL32, ffnL32, outL32   *tensor.Matrix32
+
+	// rank scratch and single-item wrapper headers. sims rows are carved
+	// from simsSlab — one arena the rank paths reuse call over call, so
+	// a warm RankBatch allocates nothing for its similarity rows.
+	sims     [][]float64
+	simsSlab []float64
+	ranks    []int
+	oneCtx   [1][]int
+	oneOut   [1][]float64
 }
 
 // NewScorer returns a Scorer over the model's current parameters.
@@ -75,8 +87,36 @@ func (m *Model) scorer() *Scorer { return m.scorers.Get().(*Scorer) }
 // with sim[0] (the k0 slot) always 0. Contexts longer than cfg.Window
 // are truncated to their most recent Window keys; an empty context
 // yields an all-zero row (no contextual intent to compare against).
+//
+// The returned rows are carved from the Scorer's scratch arena: they
+// are valid until the next call on this Scorer. Callers that retain
+// rows across calls must use ScoreBatchInto with their own buffers.
 func (s *Scorer) ScoreBatch(contexts [][]int) [][]float64 {
-	return s.ScoreBatchInto(nil, contexts)
+	return s.ScoreBatchInto(s.arenaSims(len(contexts)), contexts)
+}
+
+// arenaSims sizes s.sims to n rows of cfg.Vocab floats carved from the
+// Scorer's flat arena slab, reusing it call over call. Rows handed out
+// this way are owned by the Scorer — safe for the rank paths and for
+// ScoreBatch, whose results are consumed before the next call; the
+// pooled single-item wrappers (ScoreNextInto with a nil buffer) must
+// keep allocating because their row outlives the pooled Scorer.
+func (s *Scorer) arenaSims(n int) [][]float64 {
+	vocab := s.m.cfg.Vocab
+	need := n * vocab
+	if cap(s.simsSlab) < need {
+		s.simsSlab = make([]float64, need)
+	}
+	slab := s.simsSlab[:need]
+	if cap(s.sims) >= n {
+		s.sims = s.sims[:n]
+	} else {
+		s.sims = make([][]float64, n)
+	}
+	for i := range s.sims {
+		s.sims[i] = slab[i*vocab : (i+1)*vocab : (i+1)*vocab]
+	}
+	return s.sims
 }
 
 // ScoreBatchInto is ScoreBatch writing into dst: it reuses dst's
@@ -123,21 +163,74 @@ func (s *Scorer) ScoreBatchInto(dst [][]float64, contexts [][]int) [][]float64 {
 		return dst
 	}
 
-	out := s.forward(maxLen)
-
-	// Eq. 10 read-out: one row per context (forward returns each
-	// sequence's last real position, already compacted).
-	table := s.m.emb.Table.Value
-	for i, b := range s.slots {
-		last := out.Row(i)
-		sims := dst[b]
-		for k := 1; k < vocab; k++ {
-			row := table.Row(k)
-			var dot float64
-			for j, v := range last {
-				dot += v * row[j]
+	// Score-cache lookup: hits copy their memoized row straight into dst
+	// and leave the kernel; the remaining misses are compacted in place
+	// so the forward pass pads only to the widest *miss*. The generation
+	// is captured before scoring — if a weight change lands mid-batch
+	// (impossible under detect.Online's lock, but cheap to defend
+	// against), the insertions below are stamped already-stale and can
+	// never be served.
+	cache := s.m.scoreCache.Load()
+	var cacheGen uint64
+	if cache != nil {
+		cacheGen = cache.Gen()
+		w := 0
+		maxLen = 0
+		for i := range s.slots {
+			if cache.GetInto(dst[s.slots[i]], s.ctxs[i]) {
+				continue
 			}
-			sims[k] = 1 / (1 + math.Exp(-dot))
+			s.slots[w], s.ctxs[w], s.lens[w] = s.slots[i], s.ctxs[i], s.lens[i]
+			if s.lens[w] > maxLen {
+				maxLen = s.lens[w]
+			}
+			w++
+		}
+		s.slots, s.ctxs, s.lens = s.slots[:w], s.ctxs[:w], s.lens[:w]
+		if w == 0 {
+			return dst
+		}
+	}
+
+	// Cache misses run the forward pass — double or single precision
+	// per the model's scoring-kernel setting.
+	if s.m.prec32.Load() {
+		sn := s.m.snapshot32()
+		out := s.forward32(sn, maxLen)
+		for i, b := range s.slots {
+			last := out.Row(i)
+			sims := dst[b]
+			for k := 1; k < vocab; k++ {
+				row := sn.emb.Row(k)
+				var dot float32
+				for j, v := range last {
+					dot += v * row[j]
+				}
+				sims[k] = 1 / (1 + math.Exp(-float64(dot)))
+			}
+		}
+	} else {
+		out := s.forward(maxLen)
+
+		// Eq. 10 read-out: one row per context (forward returns each
+		// sequence's last real position, already compacted).
+		table := s.m.emb.Table.Value
+		for i, b := range s.slots {
+			last := out.Row(i)
+			sims := dst[b]
+			for k := 1; k < vocab; k++ {
+				row := table.Row(k)
+				var dot float64
+				for j, v := range last {
+					dot += v * row[j]
+				}
+				sims[k] = 1 / (1 + math.Exp(-dot))
+			}
+		}
+	}
+	if cache != nil {
+		for i, b := range s.slots {
+			cache.PutGen(s.ctxs[i], dst[b], cacheGen)
 		}
 	}
 	return dst
@@ -161,9 +254,9 @@ func (s *Scorer) RankBatchInto(dst []int, contexts [][]int, keys []int) []int {
 	} else {
 		dst = append(dst[:0], make([]int, len(contexts))...)
 	}
-	s.sims = s.ScoreBatchInto(s.sims, contexts)
-	for b, sims := range s.sims {
-		dst[b] = rankIn(sims, keys[b])
+	sims := s.ScoreBatchInto(s.arenaSims(len(contexts)), contexts)
+	for b, row := range sims {
+		dst[b] = rankIn(row, keys[b])
 	}
 	return dst
 }
@@ -203,10 +296,7 @@ func (s *Scorer) forward(L int) *tensor.Matrix {
 		s.scores = make([]float64, L*L)
 	}
 	s.scores = s.scores[:L*L]
-	if s.maskL != L || s.mask == nil {
-		s.mask = nn.BuildMask(m.cfg.Mask, L)
-		s.maskL = L
-	}
+	s.mask = s.maskFor(L)
 
 	// Embedding (Eq. 1): PadKey, negative and out-of-vocabulary keys map
 	// to the zero vector, exactly as nn.Embedding.Lookup; padded tail
@@ -372,6 +462,21 @@ func (s *Scorer) attention(a *nn.MultiHeadAttention, B, L int, last bool) {
 	} else {
 		tensor.MatMulInto(s.sub, heads, a.WO.Value)
 	}
+}
+
+// maskFor returns the kind mask for padded length L, built once per
+// distinct length and cached: session scans alternate padded lengths
+// chunk to chunk, and the masks are pure functions of (kind, L).
+func (s *Scorer) maskFor(L int) *tensor.Matrix {
+	if m, ok := s.masks[L]; ok {
+		return m
+	}
+	if s.masks == nil {
+		s.masks = make(map[int]*tensor.Matrix)
+	}
+	m := nn.BuildMask(s.m.cfg.Mask, L)
+	s.masks[L] = m
+	return m
 }
 
 // ensureMat resizes m to rows x cols, reusing its backing array when

@@ -221,7 +221,14 @@ func (m *Model) FineTune(sessions [][]int, epochs int, progress func(epoch int, 
 
 func (m *Model) train(sessions [][]int, epochs int, lr float64, progress func(int, float64)) TrainResult {
 	windows := m.collectWindows(sessions)
-	return m.trainWindows(windows, epochs, lr, progress)
+	res := m.trainWindows(windows, epochs, lr, progress)
+	// The weights changed (or conservatively may have): advance the
+	// generation so the float32 snapshot rebuilds and every cached
+	// similarity row goes stale. The serving layer holds the model
+	// write-lock across this call, so no concurrent scorer can observe
+	// half-updated weights under the old generation.
+	m.bumpWeightGen()
+	return res
 }
 
 // collectWindows extracts and concatenates the training windows of all
