@@ -33,6 +33,14 @@
 // at startup. Backpressure from the server (503) pauses the tail with
 // capped exponential backoff — the audit log itself is the buffer, and
 // the lag is exported as ucad_feed_lag_bytes when -metrics-addr is set.
+//
+// -serve-url accepts a comma-separated failover list (primary first,
+// then warm standbys). When the acknowledging server changes — the
+// primary died and a standby took over — the feeder rewinds the tail by
+// at least -failover-rewind and redelivers: the standby deduplicates
+// the part it already replayed from the primary's shipped WAL and
+// appends the tail the primary never shipped, so sessions stay
+// exactly-once across the failover.
 package main
 
 import (
@@ -57,7 +65,8 @@ import (
 func main() {
 	source := flag.String("source", "", "audit log file to tail (required)")
 	format := flag.String("format", "jsonl", "audit log format: jsonl or csv")
-	serveURL := flag.String("serve-url", "", "ucad-serve base URL, e.g. http://127.0.0.1:8844 (required)")
+	serveURL := flag.String("serve-url", "", "ucad-serve base URL(s), comma-separated in failover order, e.g. http://primary:8844,http://standby:8845 (required)")
+	failoverRewind := flag.Duration("failover-rewind", 30*time.Second, "replication-lag bound assumed on URL-list failover: redeliver at least this much of the stream to the new server (0 disables the rewind)")
 	tenantID := flag.String("tenant", "", "target tenant (sent as the X-UCAD-Tenant header; empty = server default)")
 	offsetDir := flag.String("offset-dir", "", "directory for resume checkpoints; empty disables resume")
 	batch := flag.Int("batch", 64, "events per delivery batch")
@@ -119,8 +128,18 @@ func main() {
 		embedded.Start()
 		deliver = &feed.ServiceDeliverer{Svc: embedded, Metrics: sm}
 	} else {
+		var urls []string
+		for _, u := range strings.Split(*serveURL, ",") {
+			if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			fatalIf(fmt.Errorf("-serve-url %q contains no URLs", *serveURL))
+		}
 		deliver = &feed.HTTPDeliverer{
-			URL:     strings.TrimRight(*serveURL, "/"),
+			URL:     urls[0],
+			URLs:    urls,
 			Tenant:  *tenantID,
 			Metrics: sm,
 		}
@@ -134,6 +153,7 @@ func main() {
 		BatchSize:      *batch,
 		FlushInterval:  *flush,
 		Idle:           *sessionIdle,
+		FailoverRewind: *failoverRewind,
 		Metrics:        sm,
 	})
 	fatalIf(err)

@@ -1,0 +1,475 @@
+// Command ucad-loadgen is the sustained-load harness: it drives
+// fixed-rate multi-tenant MultiGen traffic — the same interleaved
+// scenario/session shapes the experiments use — for a set duration and
+// reports throughput, ingest latency quantiles, allocation cost, and
+// (when watching a standby) replication lag.
+//
+// Usage:
+//
+//	ucad-loadgen -rate 2000 -duration 30s [-tenants 2] [-anomaly 0.05]
+//	ucad-loadgen -rate 2000 -duration 30s -serve-url http://primary:8844,http://standby:8845 \
+//	             [-tenant-ids s1,s2] [-replication-status http://standby:8845]
+//
+// Without -serve-url the harness is self-contained: it trains one tiny
+// scenario model per tenant at startup and ingests straight into an
+// in-process serving registry, measuring per-event ingest admission
+// latency. With -serve-url it posts event batches over HTTP (the URL
+// list fails over exactly like ucad-feed) and measures per-batch
+// delivery latency; -tenant-ids must then name tenants the server
+// already runs (empty targets the server's default tenant).
+//
+// The summary line is `go test -bench` shaped, so piping stdout through
+// cmd/benchjson folds the run into the same BENCH_*.json artifact the
+// micro-benchmarks produce:
+//
+//	ucad-loadgen -rate 1500 -duration 15s | benchjson -o BENCH_LOAD.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/ucad/ucad/internal/core"
+	"github.com/ucad/ucad/internal/feed"
+	"github.com/ucad/ucad/internal/obs"
+	"github.com/ucad/ucad/internal/scorecache"
+	"github.com/ucad/ucad/internal/serve"
+	"github.com/ucad/ucad/internal/session"
+	"github.com/ucad/ucad/internal/tenant"
+	"github.com/ucad/ucad/internal/workload"
+)
+
+func main() {
+	rate := flag.Float64("rate", 2000, "sustained event rate (events/sec)")
+	duration := flag.Duration("duration", 30*time.Second, "how long to hold the rate")
+	tenants := flag.Int("tenants", 2, "in-process mode: tenant count (tiny models trained at startup)")
+	anomaly := flag.Float64("anomaly", 0.05, "per-session probability of an attack synthesis")
+	seed := flag.Int64("seed", 42, "workload seed (deterministic traffic for a fixed seed)")
+	serveURL := flag.String("serve-url", "", "deliver over HTTP to these comma-separated base URLs (failover order) instead of in-process")
+	tenantIDs := flag.String("tenant-ids", "", "HTTP mode: comma-separated tenant ids to address (empty = the server's default tenant)")
+	batch := flag.Int("batch", 64, "HTTP mode: events per POST")
+	workers := flag.Int("workers", 4, "in-process mode: scoring workers per tenant")
+	shards := flag.Int("shards", 2, "in-process mode: ingest shards per tenant")
+	lagURL := flag.String("replication-status", "", "poll this server's /v1/replication during the run and report standby lag")
+	name := flag.String("name", "LoadSustained", "benchmark name for the summary line")
+	flag.Parse()
+
+	if *rate <= 0 || *duration <= 0 {
+		fatalIf(fmt.Errorf("-rate and -duration must be positive"))
+	}
+
+	gen, ids := buildTraffic(*serveURL, *tenantIDs, *tenants, *seed, *anomaly)
+	sink := buildSink(*serveURL, ids, *workers, *shards, *batch)
+	defer sink.close()
+
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("ucad_loadgen_latency_seconds", "Ingest admission / batch delivery latency.", obs.LatencyBuckets)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var lag *lagWatcher
+	if *lagURL != "" {
+		lag = watchLag(ctx, strings.TrimRight(*lagURL, "/"))
+	}
+
+	fmt.Fprintf(os.Stderr, "ucad-loadgen: %s at %.0f ev/s for %s (%s)\n",
+		sink.describe(), *rate, *duration, describeTenants(ids))
+
+	var msBefore runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+
+	start := time.Now()
+	sent, err := drive(ctx, gen, sink, hist, *rate, *duration)
+	elapsed := time.Since(start)
+	fatalIf(err)
+	sink.drain()
+
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
+	if sent == 0 {
+		fatalIf(fmt.Errorf("no events sent (interrupted immediately?)"))
+	}
+	evps := float64(sent) / elapsed.Seconds()
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(sent)
+	allocsPerEvent := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(sent)
+	bytesPerEvent := float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(sent)
+
+	// The go-bench-shaped summary line cmd/benchjson folds into the
+	// BENCH_*.json artifact. Latency quantiles are admission latency per
+	// event in-process and delivery latency per batch over HTTP.
+	line := fmt.Sprintf("Benchmark%s \t%8d\t%12.0f ns/op\t%12.0f events/sec\t%10.4f p50-ms\t%10.4f p99-ms\t%8.1f allocs/event\t%8.0f B/event",
+		*name, sent, nsPerOp, evps,
+		hist.Quantile(0.50)*1e3, hist.Quantile(0.99)*1e3,
+		allocsPerEvent, bytesPerEvent)
+	if lag != nil {
+		maxLag, lastLag, samples := lag.summary()
+		if samples > 0 {
+			line += fmt.Sprintf("\t%10.3f replication-lag-max-s\t%10.3f replication-lag-final-s", maxLag, lastLag)
+		}
+	}
+	fmt.Println(line)
+	fmt.Fprintf(os.Stderr, "ucad-loadgen: %d events in %s (%.0f ev/s achieved, target %.0f)\n",
+		sent, elapsed.Round(time.Millisecond), evps, *rate)
+	sink.report()
+}
+
+// drive paces gen into sink at the target rate until the duration (or
+// the context) expires, observing per-delivery latency into hist.
+func drive(ctx context.Context, gen *workload.MultiGen, sink eventSink, hist *obs.Histogram, rate float64, duration time.Duration) (int64, error) {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	start := time.Now()
+	var sent int64
+	for {
+		select {
+		case <-ctx.Done():
+			return sent, nil
+		case <-tick.C:
+		}
+		elapsed := time.Since(start)
+		if elapsed >= duration {
+			return sent, nil
+		}
+		// Token bucket: emit whatever the elapsed-time budget has accrued
+		// beyond what was already sent, so a slow flush is caught up on
+		// the next tick instead of silently lowering the rate.
+		target := int64(rate * elapsed.Seconds())
+		for sent < target {
+			if err := sink.send(ctx, gen.Next(), hist); err != nil {
+				return sent, err
+			}
+			sent++
+			if ctx.Err() != nil {
+				return sent, nil
+			}
+		}
+	}
+}
+
+// buildTraffic assembles the MultiGen stream: alternating Scenario-I /
+// Scenario-II sources, one per tenant id.
+func buildTraffic(serveURL, tenantIDs string, tenants int, seed int64, anomaly float64) (*workload.MultiGen, []string) {
+	var ids []string
+	if serveURL != "" {
+		for _, id := range strings.Split(tenantIDs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			ids = []string{""} // the server's default tenant
+		}
+	} else {
+		if tenants <= 0 {
+			tenants = 1
+		}
+		for i := 0; i < tenants; i++ {
+			ids = append(ids, fmt.Sprintf("gen-%d", i))
+		}
+	}
+	streams := make([]workload.TenantStream, len(ids))
+	for i, id := range ids {
+		spec := workload.ScenarioI()
+		if i%2 == 1 {
+			spec = workload.ScenarioII(0.5)
+		}
+		streams[i] = workload.TenantStream{
+			Tenant:      id,
+			Source:      workload.NewScenarioSource(spec, seed+int64(i), anomaly),
+			Concurrency: 4,
+		}
+	}
+	return workload.NewMultiGen(seed, streams...), ids
+}
+
+func describeTenants(ids []string) string {
+	if len(ids) == 1 && ids[0] == "" {
+		return "default tenant"
+	}
+	return fmt.Sprintf("%d tenants: %s", len(ids), strings.Join(ids, ","))
+}
+
+// eventSink abstracts the two delivery paths.
+type eventSink interface {
+	send(ctx context.Context, ev workload.TenantEvent, hist *obs.Histogram) error
+	drain()
+	report()
+	describe() string
+	close()
+}
+
+func buildSink(serveURL string, ids []string, workers, shards, batch int) eventSink {
+	if serveURL == "" {
+		return newLocalSink(ids, workers, shards)
+	}
+	var urls []string
+	for _, u := range strings.Split(serveURL, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		fatalIf(fmt.Errorf("-serve-url %q contains no URLs", serveURL))
+	}
+	return &httpSink{
+		deliver:  &feed.HTTPDeliverer{URL: urls[0], URLs: urls},
+		capacity: batch,
+		urls:     urls,
+	}
+}
+
+// localSink scores in-process: a non-durable tenant registry with one
+// tiny scenario-trained model per tenant. send measures ingest
+// admission latency per event, retrying ErrBusy backpressure.
+type localSink struct {
+	reg *tenant.Registry
+}
+
+func newLocalSink(ids []string, workers, shards int) *localSink {
+	reg := tenant.New(tenant.Options{
+		Serve: serve.Config{
+			Workers:     workers,
+			Shards:      shards,
+			QueueSize:   4096,
+			Batch:       16,
+			IdleTimeout: 10 * time.Minute,
+			SweepEvery:  15 * time.Second,
+		},
+	})
+	for i, id := range ids {
+		spec := workload.ScenarioI()
+		if i%2 == 1 {
+			spec = workload.ScenarioII(0.5)
+		}
+		fmt.Fprintf(os.Stderr, "ucad-loadgen: training tiny model for %s...\n", id)
+		u := trainTiny(spec, int64(1000+i))
+		_, err := reg.CreateFromModel(tenant.Spec{ID: id}, u)
+		fatalIf(err)
+	}
+	return &localSink{reg: reg}
+}
+
+// trainTiny fits a small detector to 12 sessions of the spec — enough
+// vocabulary for scoring to be real work, small enough to train in
+// well under a second.
+func trainTiny(spec workload.Spec, seed int64) *core.UCAD {
+	src := workload.NewScenarioSource(spec, seed, 0)
+	var sessions []*session.Session
+	for i := 0; i < 12; i++ {
+		ss := src.NextSession()
+		s := &session.Session{ID: ss.ClientID, User: ss.User, Addr: ss.Addr}
+		for _, sql := range ss.Statements {
+			s.Ops = append(s.Ops, session.Operation{SQL: sql})
+		}
+		sessions = append(sessions, s)
+	}
+	cfg := core.DefaultConfig()
+	cfg.SkipClean = true
+	cfg.Model.Hidden = 8
+	cfg.Model.Heads = 2
+	cfg.Model.Blocks = 1
+	cfg.Model.Window = 8
+	cfg.Model.Epochs = 1
+	cfg.Model.Dropout = 0
+	cfg.Model.MinContext = 2
+	u, err := core.Train(cfg, sessions, nil)
+	fatalIf(err)
+	u.Model.SetScoreCache(scorecache.New(4096))
+	return u
+}
+
+func (s *localSink) send(ctx context.Context, ev workload.TenantEvent, hist *obs.Histogram) error {
+	e := serve.Event{
+		Tenant:   ev.Tenant,
+		ClientID: ev.ClientID,
+		User:     ev.User,
+		Addr:     ev.Addr,
+		SQL:      ev.SQL,
+	}
+	for backoff := time.Millisecond; ; backoff *= 2 {
+		t0 := time.Now()
+		err := s.reg.Ingest(e)
+		if err == nil {
+			hist.Observe(time.Since(t0).Seconds())
+			return nil
+		}
+		if !errors.Is(err, serve.ErrBusy) {
+			return fmt.Errorf("ingest: %w", err)
+		}
+		if backoff > 100*time.Millisecond {
+			backoff = 100 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
+	}
+}
+
+func (s *localSink) drain() {
+	for _, t := range s.reg.List() {
+		t.Service().Drain()
+	}
+}
+
+func (s *localSink) report() {
+	for _, t := range s.reg.List() {
+		st := t.Stats()
+		fmt.Fprintf(os.Stderr, "ucad-loadgen: tenant %s: %d accepted, %d scored, %d flagged sessions, %d alerts; score cache hit rate %.1f%%\n",
+			t.ID(), st.EventsAccepted, st.OpsScored, st.SessionsFlagged, st.AlertsRaised, 100*st.ScoreCacheHitRate)
+	}
+}
+
+func (s *localSink) describe() string { return "in-process serving registry" }
+
+func (s *localSink) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.reg.Close(ctx)
+}
+
+// httpSink batches events into /v1/events posts through the failover
+// deliverer. Sessionization is the server's job in this path, so events
+// carry no sequence numbers and latency is observed per batch.
+type httpSink struct {
+	deliver  *feed.HTTPDeliverer
+	capacity int
+	urls     []string
+	buf      []serve.Event
+	batches  int64
+}
+
+func (s *httpSink) send(ctx context.Context, ev workload.TenantEvent, hist *obs.Histogram) error {
+	s.buf = append(s.buf, serve.Event{
+		Tenant:   ev.Tenant,
+		ClientID: ev.ClientID,
+		User:     ev.User,
+		Addr:     ev.Addr,
+		SQL:      ev.SQL,
+	})
+	if len(s.buf) < s.capacity {
+		return nil
+	}
+	return s.flush(ctx, hist)
+}
+
+func (s *httpSink) flush(ctx context.Context, hist *obs.Histogram) error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	t0 := time.Now()
+	err := s.deliver.Deliver(ctx, s.buf)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return fmt.Errorf("deliver: %w", err)
+	}
+	hist.Observe(time.Since(t0).Seconds())
+	s.buf = s.buf[:0]
+	s.batches++
+	return nil
+}
+
+func (s *httpSink) drain() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.flush(ctx, obsNull()); err != nil {
+		fmt.Fprintln(os.Stderr, "ucad-loadgen: final flush:", err)
+	}
+}
+
+// obsNull is a throwaway histogram for the final flush (not part of the
+// measured window).
+func obsNull() *obs.Histogram {
+	return obs.NewRegistry().Histogram("ucad_loadgen_scratch_seconds", "scratch", obs.LatencyBuckets)
+}
+
+func (s *httpSink) report() {
+	fmt.Fprintf(os.Stderr, "ucad-loadgen: %d batches posted; %d failover(s)\n", s.batches, s.deliver.Failovers())
+}
+
+func (s *httpSink) describe() string {
+	return fmt.Sprintf("HTTP delivery to %s", strings.Join(s.urls, " -> "))
+}
+
+func (s *httpSink) close() {}
+
+// lagWatcher polls a standby's /v1/replication during the run.
+type lagWatcher struct {
+	mu      sync.Mutex
+	max     float64
+	last    float64
+	samples int64
+}
+
+func watchLag(ctx context.Context, base string) *lagWatcher {
+	w := &lagWatcher{}
+	client := &http.Client{Timeout: 2 * time.Second}
+	go func() {
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+			resp, err := client.Get(base + "/v1/replication")
+			if err != nil {
+				continue
+			}
+			var st struct {
+				LagSeconds float64 `json:"lag_seconds"`
+			}
+			err = decodeJSON(resp, &st)
+			if err != nil {
+				continue
+			}
+			w.mu.Lock()
+			w.last = st.LagSeconds
+			if st.LagSeconds > w.max {
+				w.max = st.LagSeconds
+			}
+			w.samples++
+			w.mu.Unlock()
+		}
+	}()
+	return w
+}
+
+func (w *lagWatcher) summary() (maxLag, lastLag float64, samples int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.max, w.last, w.samples
+}
+
+func decodeJSON(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ucad-loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	ucad-serve -model ucad.model [-addr :8844] [-workers 4] [-shards N] [-data-dir DIR] [-fsync always] [-pprof]
 //	ucad-serve -tenants tenants.json -data-dir DIR [-addr :8844] ...
+//	ucad-serve -data-dir DIR -replicate-from http://primary:8844 [-auto-promote-after 30s]
 //
 // Without -tenants the process serves one default tenant from -model —
 // the original single-tenant deployment, byte-for-byte compatible
@@ -35,6 +36,16 @@
 // truncating a torn tail). Fine-tune rounds additionally write atomic
 // model checkpoints; boot prefers the newest checkpoint that loads,
 // rolling back through the manifest past any that do not.
+//
+// With -data-dir the process is also a replication primary: sealed WAL
+// segments, snapshots, model checkpoints and tenant specs are served
+// read-only under /v1/replica/ (the single-tenant flat layout ships as
+// tenant "default"). A second process
+// started with -replicate-from pointed at it runs as a warm standby:
+// it mirrors every tenant into its own -data-dir, continuously replays
+// the shipped stream into live non-serving pipelines, and flips to
+// serving on POST /v1/promote (or on its own after -auto-promote-after
+// of primary unreachability). GET /v1/replication reports standby lag.
 //
 // API:
 //
@@ -65,7 +76,10 @@ import (
 	"syscall"
 	"time"
 
+	"path/filepath"
+
 	"github.com/ucad/ucad/internal/core"
+	"github.com/ucad/ucad/internal/replica"
 	"github.com/ucad/ucad/internal/scorecache"
 	"github.com/ucad/ucad/internal/serve"
 	"github.com/ucad/ucad/internal/tenant"
@@ -98,6 +112,10 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/")
 	cacheSize := flag.Int("score-cache-size", 4096, "similarity rows memoized per tenant (0 disables the score cache)")
 	precision := flag.String("score-precision", "float64", "scoring kernel: float64 (reference) or float32 (fast path, scores within 1e-4)")
+	replicateFrom := flag.String("replicate-from", "", "primary base URL to follow as a warm standby (requires -data-dir; tenants mirror from the primary and serve after POST /v1/promote)")
+	replicaPoll := flag.Duration("replica-poll", 2*time.Second, "standby sync period under -replicate-from")
+	autoPromote := flag.Duration("auto-promote-after", 0, "standby self-promotes after the primary has been unreachable this long (0 = manual promotion only)")
+	warmCache := flag.Bool("warm-score-cache", true, "pre-warm each replica tenant's score cache while replaying shipped WAL (standby mode)")
 	flag.Parse()
 
 	policy, err := wal.ParseSyncPolicy(*fsync)
@@ -125,8 +143,24 @@ func main() {
 		}
 	}
 
-	reg := tenant.New(tenant.Options{
+	if *replicateFrom != "" && *dataDir == "" {
+		fatalIf(fmt.Errorf("-replicate-from requires -data-dir (the standby persists the mirrored WAL)"))
+	}
+
+	var follower *replica.Follower
+	opts := tenant.Options{
 		Root: *dataDir,
+		// Promotion seals the replication era before flipping replicas
+		// live: stop the follower loop, then pull one final sync so the
+		// standby holds everything the primary had sealed. Runs outside
+		// the registry's admin lock (a mid-flight sync may be creating a
+		// replica tenant, which needs that lock).
+		PrePromote: func() {
+			if follower != nil {
+				follower.Stop()
+				follower.SyncOnce(context.Background())
+			}
+		},
 		Serve: serve.Config{
 			Workers:           *workers,
 			Shards:            *shards,
@@ -159,29 +193,87 @@ func main() {
 				u.Model.SetScoreCache(scorecache.New(*cacheSize))
 			}
 		},
-	})
-	fatalIf(reg.Boot(specs))
+	}
+	reg := tenant.New(opts)
 	fmt.Printf("scoring: %s kernel, score cache %d rows per tenant\n", prec, *cacheSize)
-	for _, t := range reg.List() {
-		fmt.Printf("tenant %s: model loaded from %s\n", t.ID(), t.ModelSource())
-		if t.Dir() == "" {
-			continue
+	if *replicateFrom == "" {
+		fatalIf(reg.Boot(specs))
+		for _, t := range reg.List() {
+			fmt.Printf("tenant %s: model loaded from %s\n", t.ID(), t.ModelSource())
+			if t.Dir() == "" {
+				continue
+			}
+			rst := t.RestoreStats()
+			how := "clean shutdown"
+			switch {
+			case rst.CleanSeal:
+			case rst.Records == 0 && rst.SnapshotSeq == 0 && rst.Sessions == 0:
+				how = "fresh data dir"
+			default:
+				how = "crash recovery"
+			}
+			fmt.Printf("tenant %s: restored %d open sessions (%s; %d WAL records replayed, fsync=%s)\n",
+				t.ID(), rst.Sessions, how, rst.Records, *fsync)
 		}
-		rst := t.RestoreStats()
-		how := "clean shutdown"
-		switch {
-		case rst.CleanSeal:
-		case rst.Records == 0 && rst.SnapshotSeq == 0 && rst.Sessions == 0:
-			how = "fresh data dir"
-		default:
-			how = "crash recovery"
-		}
-		fmt.Printf("tenant %s: restored %d open sessions (%s; %d WAL records replayed, fsync=%s)\n",
-			t.ID(), rst.Sessions, how, rst.Records, *fsync)
 	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", reg.Handler())
+	// One shared replication metrics family: a standby is both a
+	// follower and (post-promotion) a shippable primary, and the obs
+	// registry rejects double registration.
+	var replMetrics *replica.Metrics
+	if *dataDir != "" {
+		replMetrics = replica.NewMetrics(reg.Hub().Registry)
+		// Primary side of replication: expose the sealed WAL, snapshots,
+		// checkpoints and specs of every tenant. Single-tenant mode keeps
+		// the default tenant in the legacy flat layout at the data-dir
+		// root; a Flat alias lets standbys replicate it all the same.
+		shipper := &replica.Shipper{
+			Root:    filepath.Join(*dataDir, "tenants"),
+			Metrics: replMetrics,
+		}
+		if *tenantsFile == "" && *replicateFrom == "" {
+			shipper.Flat = map[string]string{"default": *dataDir}
+		}
+		mux.Handle("/v1/replica/", shipper.Handler("/v1/replica"))
+	}
+	if *replicateFrom != "" {
+		f, err := replica.NewFollower(replica.FollowerConfig{
+			PrimaryURL:       *replicateFrom,
+			Root:             *dataDir,
+			Interval:         *replicaPoll,
+			WarmScoreCache:   *warmCache,
+			AutoPromoteAfter: *autoPromote,
+			Metrics:          replMetrics,
+			OpenTarget: func(id, dir string) (replica.Target, error) {
+				tn, err := reg.CreateReplica(id)
+				if err != nil {
+					return nil, err
+				}
+				fmt.Printf("tenant %s: replicating from %s\n", id, *replicateFrom)
+				return replica.ServiceTarget{Svc: tn.Service()}, nil
+			},
+			OnPrimaryDown: func() {
+				fmt.Printf("primary unreachable for %s: promoting standby\n", *autoPromote)
+				promoted, err := reg.Promote()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ucad-serve: auto-promote:", err)
+					return
+				}
+				fmt.Printf("promoted tenants: %v\n", promoted)
+			},
+		})
+		fatalIf(err)
+		follower = f
+		go follower.Run(context.Background())
+		defer follower.Stop()
+		mux.HandleFunc("GET /v1/replication", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(follower.Status())
+		})
+		fmt.Printf("warm standby: following %s every %s (promote via POST /v1/promote)\n", *replicateFrom, *replicaPoll)
+	}
 	if *pprofOn {
 		// Explicit registration keeps the profiling surface off unless
 		// asked for — no blanket net/http/pprof DefaultServeMux import.

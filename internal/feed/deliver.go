@@ -122,16 +122,64 @@ func (d *ServiceDeliverer) Deliver(ctx context.Context, events []serve.Event) er
 // trusted only when its body carries per-event statuses. Batches whose
 // JSON encoding would exceed the server's request cap are split before
 // posting.
+//
+// With a URL list (URLs) the deliverer fails over between servers, but
+// never silently: events only ever post to the established server (the
+// one that last acknowledged, initially the first URL). When that server
+// becomes unreachable — a dead socket, or an envelope-less 5xx from a
+// proxy fronting a dead backend — the others are health-probed
+// (GET /healthz), and if one answers, Deliver returns ErrFailover
+// WITHOUT delivering the batch: the new server must not see mid-stream
+// events before the caller has rewound (a serving-layer dedupe fence
+// would jump past the replication gap and the skipped operations could
+// never land). The caller rewinds and redelivers; subsequent calls post
+// to the new server. A live server's own retryable refusals — an
+// envelope-carrying 503 from backpressure, a draining tenant, a standby
+// awaiting promotion — are retried in place with backoff and never
+// trigger a failover. Failovers() reports how many times the established
+// server changed. The deliverer is not safe for concurrent use once URLs
+// is set.
 type HTTPDeliverer struct {
 	// URL is the server base, e.g. "http://127.0.0.1:8844".
 	URL string
+	// URLs is the failover list of server bases in preference order
+	// (primary first, then standbys). When non-empty it takes precedence
+	// over URL.
+	URLs []string
 	// Tenant, when non-empty, is sent as the X-UCAD-Tenant header.
 	Tenant string
 	// Client is the HTTP client (nil means a 10s-timeout default).
 	Client  *http.Client
 	Backoff Backoff
 	Metrics *SourceMetrics
+
+	// cur indexes targets() at the established server — the only one
+	// real events are posted to.
+	cur       int
+	failovers int64
 }
+
+// ErrFailover reports that the established server stopped answering and
+// a different URL in the list is healthy. The pending batch was NOT
+// delivered to the new server: the caller gets the chance to rewind its
+// stream first (see FeederConfig.FailoverRewind), so the first events a
+// freshly promoted standby sees are the rewound prefix rather than a
+// mid-stream batch that would advance its dedupe fences past the
+// replication gap. Calling Deliver again targets the new server.
+var ErrFailover = errors.New("feed: delivery failing over to a different server")
+
+// targets resolves the effective URL list.
+func (d *HTTPDeliverer) targets() []string {
+	if len(d.URLs) > 0 {
+		return d.URLs
+	}
+	return []string{d.URL}
+}
+
+// Failovers counts how many times the established server changed. A
+// caller that snapshots the count around a Deliver call can tell the
+// serving side changed and rewind accordingly.
+func (d *HTTPDeliverer) Failovers() int64 { return d.failovers }
 
 // maxBatchBytes bounds one marshalled POST body. The server rejects
 // request bodies over 8 MiB outright (serve.DecodeEvents), and that
@@ -177,9 +225,11 @@ func (d *HTTPDeliverer) deliver(ctx context.Context, client *http.Client, events
 		}
 		return d.deliver(ctx, client, events[mid:])
 	}
+	urls := d.targets()
 	capped := 0
 	for attempt := 0; ; attempt++ {
-		res, err := d.post(ctx, client, body, len(events))
+		d.cur %= len(urls)
+		res, err := d.post(ctx, client, urls[d.cur], body, len(events))
 		if err == nil {
 			d.Metrics.delivered(res.accepted)
 			d.Metrics.dropped(res.rejected)
@@ -197,6 +247,22 @@ func (d *HTTPDeliverer) deliver(ctx context.Context, client *http.Client, events
 				return &permanentError{fmt.Errorf("feed: giving up after %d attempts: %w", capped, err)}
 			}
 		}
+		// An unreachable established server — dead socket, or an
+		// envelope-less 5xx from a proxy fronting a dead backend — is the
+		// failover trigger: probe the other URLs and hand control back
+		// before any of them sees real events. A live server's own
+		// envelope-carrying refusals (backpressure, draining, awaiting
+		// promotion) are retried in place instead: busy is not dead.
+		if len(urls) > 1 && !res.serverAlive {
+			for next := (d.cur + 1) % len(urls); next != d.cur; next = (next + 1) % len(urls) {
+				if d.probe(ctx, client, urls[next]) {
+					d.cur = next
+					d.failovers++
+					d.Metrics.failedOver()
+					return ErrFailover
+				}
+			}
+		}
 		d.Metrics.retried()
 		delay := d.Backoff.delay(attempt)
 		if res.retryAfter > delay {
@@ -206,6 +272,23 @@ func (d *HTTPDeliverer) deliver(ctx context.Context, client *http.Client, events
 			return serr
 		}
 	}
+}
+
+// probe asks url for liveness without sending it any events.
+func (d *HTTPDeliverer) probe(ctx context.Context, client *http.Client, url string) bool {
+	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
 // permanentError marks a response retrying cannot fix.
@@ -269,12 +352,16 @@ type postResult struct {
 	rejected    int
 	retryAfter  time.Duration
 	cappedRetry bool // retryable, but only a bounded number of times
+	// serverAlive marks a refusal that provably came from a live serving
+	// process (it spoke the error envelope) — retry in place, never a
+	// reason to fail over.
+	serverAlive bool
 }
 
-// post sends one batch of n events and classifies the response.
-func (d *HTTPDeliverer) post(ctx context.Context, client *http.Client, body []byte, n int) (postResult, error) {
+// post sends one batch of n events to url and classifies the response.
+func (d *HTTPDeliverer) post(ctx context.Context, client *http.Client, url string, body []byte, n int) (postResult, error) {
 	var res postResult
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.URL+"/v1/events", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/events", bytes.NewReader(body))
 	if err != nil {
 		return res, &permanentError{fmt.Errorf("feed: build request: %w", err)}
 	}
@@ -311,6 +398,7 @@ func (d *HTTPDeliverer) post(ctx context.Context, client *http.Client, body []by
 	if parsed {
 		if env := er.envelope(); env != nil {
 			if env.Retryable {
+				res.serverAlive = true
 				if s := resp.Header.Get("Retry-After"); s != "" {
 					if secs, err := strconv.Atoi(s); err == nil {
 						res.retryAfter = time.Duration(secs) * time.Second

@@ -29,6 +29,38 @@ type Checkpoint struct {
 	// restart must never reissue an epoch the serving layer could still
 	// hold open.
 	Epoch int64 `json:"epoch,omitempty"`
+	// Failover retains the older resume states the failover rewind
+	// falls back to (present only when FeederConfig.FailoverRewind is
+	// enabled), so a crash between a failover and the next commit still
+	// resumes behind the replication lag window.
+	Failover *FailoverState `json:"failover,omitempty"`
+}
+
+// FailoverPoint is one retained resume state: a past (position,
+// sessionizer counters) pair the feeder can rewind to. Replaying the
+// stream from a point reproduces the exact (epoch, seq) labels the
+// first pass issued — sessionization is deterministic given the
+// counters — so redelivery dedupes at the server instead of forking
+// sessions.
+type FailoverPoint struct {
+	Pos      Position              `json:"pos"`
+	Sessions map[string]SessionSeq `json:"sessions,omitempty"`
+	Epoch    int64                 `json:"epoch,omitempty"`
+	// At is the wall-clock capture time; a point older than the
+	// FailoverRewind window is one whose delivered prefix has had time
+	// to replicate to any standby.
+	At time.Time `json:"at"`
+}
+
+// FailoverState is the two-bucket retention of failover points: Active
+// is the rewind target (at least one rewind window old, once the feeder
+// has run that long), Pending is the candidate that replaces it when it
+// ages past the window. Active's age is thus bounded to roughly
+// [window, 2×window] — old enough that its prefix replicated, young
+// enough that a rewind stays inside the server's session idle timeout.
+type FailoverState struct {
+	Active  *FailoverPoint `json:"active,omitempty"`
+	Pending *FailoverPoint `json:"pending,omitempty"`
 }
 
 // Position names the committed offset of a file-backed source. Kind
@@ -76,6 +108,19 @@ type FeederConfig struct {
 	// should not exceed the server's session idle timeout, and
 	// checkpoint lag must stay inside it for dedupe to hold.
 	Idle time.Duration
+	// FailoverRewind, when > 0, is the replication-lag bound the feeder
+	// assumes when delivery fails over to a standby server (the
+	// deliverer reports it via Failovers, e.g. HTTPDeliverer with a URL
+	// list): anything delivered within the last FailoverRewind may not
+	// have replicated yet, so on failover the feeder rewinds the source
+	// and its sessionizer counters to a retained point at least that old
+	// and redelivers the suffix. The standby dedupes the part it already
+	// replayed from the primary's WAL and appends the missing tail —
+	// exactly-once sessions across the failover. Set it comfortably
+	// above the primary's snapshot/ship cadence but below the server's
+	// session idle timeout. Requires a rewindable source (Tailer); other
+	// sources fail over without rewinding.
+	FailoverRewind time.Duration
 	// Metrics is the per-source instrument view (nil drops metrics).
 	Metrics *SourceMetrics
 
@@ -90,7 +135,23 @@ type FeederConfig struct {
 type Feeder struct {
 	cfg  FeederConfig
 	sess *Sessionizer
+
+	// Failover-rewind state (used only when canRewind).
+	canRewind bool
+	fo        failoverCounter
+	seenFail  int64
+	active    *FailoverPoint
+	pending   *FailoverPoint
 }
+
+// failoverCounter is the deliverer half of the failover handshake: a
+// monotonic count of acknowledged-server changes (HTTPDeliverer with a
+// URL list implements it).
+type failoverCounter interface{ Failovers() int64 }
+
+// rewindable is the source half: mid-run re-seek to an earlier
+// committed position (Tailer implements it).
+type rewindable interface{ Rewind(pos FilePos) error }
 
 // NewFeeder validates the wiring.
 func NewFeeder(cfg FeederConfig) (*Feeder, error) {
@@ -106,7 +167,19 @@ func NewFeeder(cfg FeederConfig) (*Feeder, error) {
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 200 * time.Millisecond
 	}
-	return &Feeder{cfg: cfg, sess: NewSessionizer(cfg.Idle, cfg.now)}, nil
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	f := &Feeder{cfg: cfg, sess: NewSessionizer(cfg.Idle, cfg.now)}
+	if cfg.FailoverRewind > 0 {
+		fo, hasFo := cfg.Deliver.(failoverCounter)
+		_, canSeek := cfg.Source.(rewindable)
+		_, hasPos := cfg.Source.(positioned)
+		if hasFo && canSeek && hasPos {
+			f.canRewind, f.fo = true, fo
+		}
+	}
+	return f, nil
 }
 
 // Run restores the checkpoint, then streams until ctx is cancelled or a
@@ -116,6 +189,16 @@ func NewFeeder(cfg FeederConfig) (*Feeder, error) {
 func (f *Feeder) Run(ctx context.Context) error {
 	if err := f.restore(); err != nil {
 		return err
+	}
+	if f.canRewind {
+		f.seenFail = f.fo.Failovers()
+		if f.active == nil {
+			// Bootstrap rewind target: the state before anything streamed.
+			// Until a commit ages past the rewind window this is the
+			// oldest state there is, so a failover replays from the start
+			// of the uncommitted era — never less.
+			f.active = f.point(f.sess.Export(), f.sess.Epoch())
+		}
 	}
 	batch := make([]serve.Event, 0, f.cfg.BatchSize)
 	for {
@@ -171,20 +254,82 @@ func (f *Feeder) restore() error {
 			return fmt.Errorf("feed: seek to checkpoint: %w", err)
 		}
 	}
+	if f.canRewind && cp.Failover != nil {
+		f.active, f.pending = cp.Failover.Active, cp.Failover.Pending
+	}
 	return nil
 }
 
+// point captures the current source position with the given sessionizer
+// counters as a failover point.
+func (f *Feeder) point(sessions map[string]SessionSeq, epoch int64) *FailoverPoint {
+	pt := &FailoverPoint{Pos: Position{Kind: "none"}, Sessions: sessions, Epoch: epoch, At: f.cfg.now()}
+	if p, isPos := f.cfg.Source.(positioned); isPos {
+		pt.Pos = Position{Kind: "file", File: p.Pos()}
+	}
+	return pt
+}
+
+// rewind rolls the stream back to the active failover point after
+// delivery switched servers: the sessionizer counters are restored so
+// re-sessionizing the replayed suffix reissues identical (epoch, seq)
+// labels, the source re-seeks, and the point is committed as the new
+// checkpoint so a crash mid-redelivery resumes behind the window too.
+func (f *Feeder) rewind() error {
+	pt := f.active
+	f.sess = NewSessionizer(f.cfg.Idle, f.cfg.now)
+	f.sess.Restore(pt.Sessions)
+	f.sess.SetEpoch(pt.Epoch)
+	if pt.Pos.Kind == "file" {
+		if err := f.cfg.Source.(rewindable).Rewind(pt.Pos.File); err != nil {
+			return fmt.Errorf("feed: failover rewind: %w", err)
+		}
+	}
+	f.pending = nil
+	f.cfg.Metrics.rewound()
+	return f.writeCheckpoint(Checkpoint{
+		Pos:      pt.Pos,
+		Sessions: pt.Sessions,
+		Epoch:    pt.Epoch,
+		Failover: &FailoverState{Active: pt},
+	})
+}
+
 // flush delivers the batch and, once acknowledged, commits the
-// checkpoint.
+// checkpoint. A deliverer reporting ErrFailover held the batch back
+// because the serving side changed: the stream rewinds to the retained
+// failover point (abandoning the batch — the rewound source re-produces
+// it) so the new server's first events are the rewound prefix, not a
+// mid-stream fragment. Without rewind support the same batch is simply
+// redelivered to the new server.
 func (f *Feeder) flush(ctx context.Context, batch []serve.Event) error {
 	if len(batch) == 0 {
 		return nil
 	}
 	start := time.Now()
-	if err := f.cfg.Deliver.Deliver(ctx, batch); err != nil {
-		return err
+	for {
+		err := f.cfg.Deliver.Deliver(ctx, batch)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrFailover) {
+			return err
+		}
+		if f.canRewind {
+			f.seenFail = f.fo.Failovers()
+			return f.rewind()
+		}
 	}
 	f.cfg.Metrics.observeDelivery(time.Since(start).Seconds())
+	if f.canRewind {
+		// Safety net for deliverers that switch servers without the
+		// ErrFailover handshake: a changed count after an acknowledged
+		// batch still forces the rewind.
+		if n := f.fo.Failovers(); n != f.seenFail {
+			f.seenFail = n
+			return f.rewind()
+		}
+	}
 	return f.commit()
 }
 
@@ -193,12 +338,30 @@ func (f *Feeder) flush(ctx context.Context, batch []serve.Event) error {
 // torn file.
 func (f *Feeder) commit() error {
 	f.sess.Sweep()
-	if f.cfg.CheckpointPath == "" {
-		return nil
-	}
 	cp := Checkpoint{Pos: Position{Kind: "none"}, Sessions: f.sess.Export(), Epoch: f.sess.Epoch()}
 	if p, isPos := f.cfg.Source.(positioned); isPos {
 		cp.Pos = Position{Kind: "file", File: p.Pos()}
+	}
+	if f.canRewind {
+		// Two-bucket aging: the pending point replaces the active one
+		// once it is a full rewind window old, then the fresh state
+		// becomes the new pending candidate.
+		cur := &FailoverPoint{Pos: cp.Pos, Sessions: cp.Sessions, Epoch: cp.Epoch, At: f.cfg.now()}
+		switch {
+		case f.pending == nil:
+			f.pending = cur
+		case cur.At.Sub(f.pending.At) >= f.cfg.FailoverRewind:
+			f.active, f.pending = f.pending, cur
+		}
+		cp.Failover = &FailoverState{Active: f.active, Pending: f.pending}
+	}
+	return f.writeCheckpoint(cp)
+}
+
+// writeCheckpoint persists one resume state ("" path disables).
+func (f *Feeder) writeCheckpoint(cp Checkpoint) error {
+	if f.cfg.CheckpointPath == "" {
+		return nil
 	}
 	b, err := json.Marshal(cp)
 	if err != nil {

@@ -18,6 +18,8 @@ type Metrics struct {
 	checkpoints     *obs.CounterVec
 	deliverySeconds *obs.HistogramVec
 	rotationGaps    *obs.CounterVec
+	failovers       *obs.CounterVec
+	rewinds         *obs.CounterVec
 }
 
 // NewMetrics registers the feed families on reg (nil means a fresh
@@ -47,6 +49,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			obs.LatencyBuckets, "source"),
 		rotationGaps: reg.CounterVec("ucad_feed_rotation_gaps_total",
 			"Resume or rotation points where log data may have been skipped (multiple rotations between polls, or a checkpointed file no longer available).", "source"),
+		failovers: reg.CounterVec("ucad_feed_failovers_total",
+			"Deliveries acknowledged by a different server than the previous one (URL-list failover).", "source"),
+		rewinds: reg.CounterVec("ucad_feed_rewinds_total",
+			"Failover rewinds: the feeder re-read from a retained older position to redeliver the suffix a new server may be missing.", "source"),
 	}
 }
 
@@ -62,6 +68,8 @@ func (m *Metrics) Source(name string) *SourceMetrics {
 		checkpoints:     m.checkpoints.With(name),
 		deliverySeconds: m.deliverySeconds.With(name),
 		rotationGaps:    m.rotationGaps.With(name),
+		failovers:       m.failovers.With(name),
+		rewinds:         m.rewinds.With(name),
 	}
 }
 
@@ -78,6 +86,8 @@ type SourceMetrics struct {
 	checkpoints     *obs.Counter
 	deliverySeconds *obs.Histogram
 	rotationGaps    *obs.Counter
+	failovers       *obs.Counter
+	rewinds         *obs.Counter
 }
 
 func (s *SourceMetrics) lineRead() {
@@ -131,5 +141,17 @@ func (s *SourceMetrics) checkpointed() {
 func (s *SourceMetrics) observeDelivery(seconds float64) {
 	if s != nil {
 		s.deliverySeconds.Observe(seconds)
+	}
+}
+
+func (s *SourceMetrics) failedOver() {
+	if s != nil {
+		s.failovers.Inc()
+	}
+}
+
+func (s *SourceMetrics) rewound() {
+	if s != nil {
+		s.rewinds.Inc()
 	}
 }

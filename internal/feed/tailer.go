@@ -146,6 +146,27 @@ func (t *Tailer) SeekTo(pos FilePos) error {
 	return nil
 }
 
+// Rewind discards everything buffered and re-seeks to an earlier
+// committed position, mid-run — the failover path: after delivery
+// switches to a standby that may be missing the old primary's
+// unreplicated tail, the feeder re-reads from a retained older position
+// and the serving layer's sequence dedupe absorbs the overlap. The
+// same rotation-loss rules as SeekTo apply: a position whose file is
+// gone restarts at the head of the current file and counts a rotation
+// gap.
+func (t *Tailer) Rewind(pos FilePos) error {
+	if t.f != nil {
+		t.f.Close()
+		t.f = nil
+	}
+	t.queue, t.partial = nil, nil
+	t.ino, t.readOff, t.retOff = 0, 0, 0
+	t.draining = false
+	t.rotatePolls = 0
+	t.expectIno = 0
+	return t.SeekTo(pos)
+}
+
 // Next returns the next parsed record, blocking for the writer.
 // Unparsable lines are counted (parse errors metric) and skipped.
 func (t *Tailer) Next(ctx context.Context) (session.Operation, error) {

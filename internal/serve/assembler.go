@@ -201,6 +201,16 @@ func (a *Assembler) CloseAll() []Closed {
 	return out
 }
 
+// Reset drops every open session without closing it — the standby
+// replayer's rebuild path after a replication gap (the state is about
+// to be re-restored from a newer shipped snapshot). The session-id
+// counter is kept: ids must never move backwards across a rebuild.
+func (a *Assembler) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.open = make(map[string]*openSession)
+}
+
 // OpenCount returns the number of currently open sessions.
 func (a *Assembler) OpenCount() int {
 	a.mu.Lock()

@@ -47,6 +47,11 @@ type DurabilityConfig struct {
 	// every fine-tune round; a checkpoint that fails validation is
 	// rolled back to the last good one.
 	Checkpoints *wal.Checkpoints
+	// WarmScoreCache pre-populates the model's score cache from the
+	// restored sessions at the end of Restore (see
+	// Service.WarmScoreCache), so a restarted node's first scoring
+	// passes hit instead of recomputing. No-op without a score cache.
+	WarmScoreCache bool
 }
 
 // RestoreStats summarizes one Service.Restore.
@@ -65,6 +70,9 @@ type RestoreStats struct {
 	CleanSeal bool
 	// TornTail reports whether a crash tail was truncated on any stream.
 	TornTail bool
+	// CacheWarmed is the number of score-cache rows pre-populated from
+	// the restored sessions (0 unless DurabilityConfig.WarmScoreCache).
+	CacheWarmed int
 }
 
 // WAL record types. Records are JSON with a one-letter type tag; the
@@ -182,6 +190,9 @@ func (s *Service) Restore() (RestoreStats, error) {
 	st.Sessions = s.openCount()
 	s.recovered.Store(int64(st.Sessions))
 	s.ckpts = d.Checkpoints
+	if d.WarmScoreCache {
+		st.CacheWarmed = s.WarmScoreCache(0)
+	}
 	s.ready.Store(true)
 	if d.SnapshotEvery > 0 {
 		s.snapStop = make(chan struct{})

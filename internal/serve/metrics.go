@@ -141,6 +141,8 @@ func NewMetricsHub(reg *obs.Registry) *MetricsHub {
 	cfv("ucad_score_cache_hits_total", "Similarity-row lookups served from the score cache (forward pass skipped).")
 	cfv("ucad_score_cache_misses_total", "Similarity-row lookups that fell through to the scoring kernel.")
 	cfv("ucad_score_cache_evictions_total", "Live score-cache entries displaced by LRU capacity pressure.")
+	cfv("ucad_score_cache_warmed_total", "Score-cache rows pre-populated from restored sessions (restart warm-up or standby replay).")
+	cfv("ucad_promotions_total", "Warm-standby promotions applied (replica flipped to serving).")
 	gfv("ucad_sessions_open", "Currently open sessions.")
 	gfv("ucad_alerts_open", "Alerts awaiting an expert verdict.")
 	gfv("ucad_verified_pool", "Verified-normal sessions awaiting the next fine-tune round.")
@@ -343,6 +345,8 @@ func (m *Metrics) bind(s *Service) {
 		func() int64 { return int64(cacheStats().Misses) })
 	cf("ucad_score_cache_evictions_total",
 		func() int64 { return int64(cacheStats().Evictions) })
+	cf("ucad_score_cache_warmed_total", s.cacheWarmed.Load)
+	cf("ucad_promotions_total", s.promotions.Load)
 	gf("ucad_sessions_open", func() float64 { return float64(s.openCount()) })
 	gf("ucad_alerts_open", func() float64 { return float64(s.alerts.openCount()) })
 	gf("ucad_verified_pool",

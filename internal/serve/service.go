@@ -66,6 +66,12 @@ type Config struct {
 	// events are WAL-logged before ack, open sessions are snapshotted,
 	// and Restore rebuilds them after a restart (see DurabilityConfig).
 	Durability *DurabilityConfig
+	// Replica starts the service as a warm standby: it never serves —
+	// Ingest rejects with ErrNotReady — while a replication follower
+	// drives its state through ReplicaRestoreSnapshot/ReplicaApplyRecord
+	// until PromoteToServing flips it live (see replica.go). Leave
+	// Durability nil for a replica; promotion supplies it.
+	Replica bool
 	// Metrics receives the serving instrumentation; nil creates a
 	// private registry (reachable via Service.Metrics). A Metrics value
 	// binds to exactly one Service.
@@ -130,6 +136,14 @@ type Service struct {
 	stopped    atomic.Bool
 	retraining atomic.Bool
 	retrainWG  sync.WaitGroup
+
+	// replica marks a warm standby (Config.Replica) that has not been
+	// promoted yet; cacheWarmed counts score-cache rows pre-populated
+	// from restored sessions (WarmScoreCache); promotions counts
+	// PromoteToServing flips (0 or 1 per process today).
+	replica     atomic.Bool
+	cacheWarmed atomic.Int64
+	promotions  atomic.Int64
 
 	sweepStop chan struct{}
 	sweepDone chan struct{}
@@ -197,6 +211,7 @@ func NewService(u *core.UCAD, cfg Config) *Service {
 		minContext: mcfg.MinContext,
 		topP:       mcfg.TopP,
 	})
+	s.replica.Store(cfg.Replica)
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
 		s.shards[i] = &shard{idx: i, asm: NewAssembler(cfg.IdleTimeout, cfg.Clock)}
@@ -329,6 +344,12 @@ func (s *Service) stopBackground() {
 func (s *Service) Ingest(ev Event) error {
 	if s.stopped.Load() {
 		return ErrStopped
+	}
+	// A warm standby never serves: clients get the retryable not-ready
+	// signal until promotion. (The atomic load also orders the config
+	// writes PromoteToServing makes before it clears the flag.)
+	if s.replica.Load() {
+		return ErrNotReady
 	}
 	if ev.SQL == "" {
 		return ErrInvalid
@@ -550,6 +571,8 @@ type Stats struct {
 	RecoveredSessions int64   `json:"recovered_sessions"`
 	UnknownKeys       int64   `json:"unknown_keys"`
 	DuplicateEvents   int64   `json:"duplicate_events"`
+	Replica           bool    `json:"replica,omitempty"`
+	Promotions        int64   `json:"promotions,omitempty"`
 
 	// Score-cache counters (all zero when no cache is attached). HitRate
 	// is hits/(hits+misses) over the service lifetime — the cache object
@@ -559,6 +582,9 @@ type Stats struct {
 	ScoreCacheEvictions int64   `json:"score_cache_evictions"`
 	ScoreCacheEntries   int64   `json:"score_cache_entries"`
 	ScoreCacheHitRate   float64 `json:"score_cache_hit_rate"`
+	// ScoreCacheWarmed counts rows pre-populated from restored sessions
+	// (restart warm-up or standby replay; see WarmScoreCache).
+	ScoreCacheWarmed int64 `json:"score_cache_warmed"`
 }
 
 // Stats snapshots the serving counters.
@@ -593,11 +619,14 @@ func (s *Service) Stats() Stats {
 		RecoveredSessions: s.recovered.Load(),
 		UnknownKeys:       s.unknownKeys.Load(),
 		DuplicateEvents:   s.dupEvents.Load(),
+		Replica:           s.replica.Load(),
+		Promotions:        s.promotions.Load(),
 
 		ScoreCacheHits:      int64(cs.Hits),
 		ScoreCacheMisses:    int64(cs.Misses),
 		ScoreCacheEvictions: int64(cs.Evictions),
 		ScoreCacheEntries:   cs.Entries,
 		ScoreCacheHitRate:   cs.HitRate(),
+		ScoreCacheWarmed:    s.cacheWarmed.Load(),
 	}
 }

@@ -24,6 +24,10 @@ const (
 	CodeTenantDraining = "tenant_draining"
 	// CodeInvalidModel rejects a model upload that fails validation.
 	CodeInvalidModel = "invalid_model"
+	// CodeNotReplica rejects promoting a process with no unpromoted
+	// replica tenants — a refused state change (409), not a retryable
+	// fault.
+	CodeNotReplica = "not_replica"
 )
 
 // TenantHeader routes events whose body carries no tenant field.
@@ -42,6 +46,7 @@ const maxModelUpload = 256 << 20
 //	POST   /v1/tenants/{id}/drain      quiesce a tenant (keeps it queryable)
 //	PUT    /v1/tenants/{id}/model      hot-replace the tenant's serving model
 //	GET    /v1/tenants/{id}/stats      that tenant's serving counters
+//	GET    /v1/tenants/{id}/sessions   that tenant's open sessions (/v1/sessions?tenant= works too)
 //	GET    /v1/tenants/{id}/alerts     that tenant's alerts (and .../alerts/{aid}/resolve)
 //	GET    /v1/alerts, /stats          default-tenant views (?tenant= overrides) —
 //	                                   the single-tenant API, unchanged
@@ -62,6 +67,13 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/tenants/{id}/drain", r.handleDrain)
 	mux.HandleFunc("PUT /v1/tenants/{id}/model", r.handleModelSwap)
 	mux.HandleFunc("GET /v1/tenants/{id}/stats", r.handleTenantStats)
+	mux.HandleFunc("GET /v1/tenants/{id}/sessions", func(w http.ResponseWriter, req *http.Request) {
+		r.handleSessions(w, req.PathValue("id"))
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
+		r.handleSessions(w, req.URL.Query().Get("tenant"))
+	})
+	mux.HandleFunc("POST /v1/promote", r.handlePromote)
 	mux.Handle("/v1/tenants/{id}/alerts", http.HandlerFunc(r.handleTenantScoped))
 	mux.Handle("/v1/tenants/{id}/alerts/", http.HandlerFunc(r.handleTenantScoped))
 	mux.HandleFunc("GET /v1/alerts", r.delegate)
@@ -189,6 +201,8 @@ func tenantErrorInfo(err error) *serve.ErrorInfo {
 		return serve.Errf(CodeTenantExists, err.Error(), false)
 	case errors.Is(err, ErrInvalidModel):
 		return serve.Errf(CodeInvalidModel, err.Error(), false)
+	case errors.Is(err, serve.ErrNotReplica):
+		return serve.Errf(CodeNotReplica, err.Error(), false)
 	default:
 		return serve.ErrorInfoFor(err)
 	}
@@ -203,7 +217,7 @@ func routedStatusCode(w http.ResponseWriter, err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrRegistryClosed):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrTenantExists):
+	case errors.Is(err, ErrTenantExists), errors.Is(err, serve.ErrNotReplica):
 		return http.StatusConflict
 	case errors.Is(err, ErrInvalidModel):
 		return http.StatusBadRequest
@@ -218,6 +232,7 @@ type Info struct {
 	Model       string      `json:"model,omitempty"` // what the model loaded from
 	Dir         string      `json:"dir,omitempty"`
 	Draining    bool        `json:"draining,omitempty"`
+	Replica     bool        `json:"replica,omitempty"`
 	Recovered   int         `json:"recovered_sessions"`
 	CleanSeal   bool        `json:"clean_seal"`
 	WALReplayed int         `json:"wal_records_replayed"`
@@ -230,6 +245,7 @@ func (t *Tenant) info() Info {
 		Model:       t.modelFrom,
 		Dir:         t.dir,
 		Draining:    t.Draining(),
+		Replica:     t.Replica(),
 		Recovered:   t.restore.Sessions,
 		CleanSeal:   t.restore.CleanSeal,
 		WALReplayed: t.restore.Records,
@@ -331,6 +347,31 @@ func (r *Registry) handleTenantStats(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, r.tenantStats(t))
+}
+
+// handleSessions exposes the tenant's open sessions — the observable
+// state the failover contract promises is identical on a promoted
+// standby and an uninterrupted primary, and the surface the e2e suite
+// compares across the two.
+func (r *Registry) handleSessions(w http.ResponseWriter, id string) {
+	t, err := r.Get(id)
+	if err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Service().ExportSessions())
+}
+
+// handlePromote flips every replica tenant to serving — the failover
+// switch. 409 not_replica when there is nothing to promote (already
+// promoted, or this process is a primary).
+func (r *Registry) handlePromote(w http.ResponseWriter, req *http.Request) {
+	promoted, err := r.Promote()
+	if err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"promoted": promoted})
 }
 
 // handleTenantScoped rewrites /v1/tenants/{id}/alerts... onto the

@@ -1,0 +1,177 @@
+package tenant
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/ucad/ucad/internal/replica"
+	"github.com/ucad/ucad/internal/serve"
+)
+
+// TestReplicaFollowerPromoteFailover is the in-process failover loop:
+// a durable two-tenant primary ships through a real HTTP shipper, a
+// follower builds warm replica tenants in a second registry, promotion
+// over the admin API flips them live, and a restart of the promoted
+// standby proves its own WAL carried both eras.
+func TestReplicaFollowerPromoteFailover(t *testing.T) {
+	clk := newFakeClock()
+	rootA, rootB := t.TempDir(), t.TempDir()
+
+	optsA := durableOptions(clk, rootA)
+	optsA.Durability.SegmentBytes = 256 // rotate early so history ships
+	regA := New(optsA)
+	modelA := filepath.Join(rootA, "a.model")
+	modelB := filepath.Join(rootA, "b.model")
+	saveModel(t, trainModel(t, "va"), modelA)
+	saveModel(t, trainModel(t, "vb"), modelB)
+	if err := regA.Boot([]Spec{
+		{ID: "alpha", ModelPath: modelA},
+		{ID: "beta", ModelPath: modelB},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ingestN(t, regA, "alpha", "a-c1", "va", 6)
+	ingestN(t, regA, "alpha", "a-c2", "va", 4)
+	ingestN(t, regA, "beta", "b-c1", "vb", 5)
+	for _, tn := range regA.List() {
+		tn.Service().Drain()
+		// Seal the primaries' current state into shipped files: the
+		// active-segment tail never replicates, a snapshot does.
+		if err := tn.Service().SnapshotNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sh := &replica.Shipper{Root: filepath.Join(rootA, "tenants")}
+	primary := httptest.NewServer(sh.Handler(""))
+	defer primary.Close()
+
+	optsB := durableOptions(clk, rootB)
+	optsB.Durability.SegmentBytes = 256
+	var follower *replica.Follower
+	optsB.PrePromote = func() {
+		follower.Stop()
+		follower.SyncOnce(context.Background())
+	}
+	regB := New(optsB)
+	f, err := replica.NewFollower(replica.FollowerConfig{
+		PrimaryURL: primary.URL,
+		Root:       rootB,
+		OpenTarget: func(id, dir string) (replica.Target, error) {
+			tn, err := regB.CreateReplica(id)
+			if err != nil {
+				return nil, err
+			}
+			return replica.ServiceTarget{Svc: tn.Service()}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower = f
+	if err := follower.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []string{"alpha", "beta"} {
+		tn, err := regB.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tn.Replica() {
+			t.Fatalf("tenant %s not in replica mode", id)
+		}
+		want := tenantByID(t, regA, id).Service().ExportSessions()
+		got := tn.Service().ExportSessions()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("replica %s diverges:\n got %+v\nwant %+v", id, got, want)
+		}
+	}
+	if err := regB.Ingest(serve.Event{Tenant: "alpha", ClientID: "x", SQL: "SELECT 1"}); !errors.Is(err, serve.ErrNotReady) {
+		t.Fatalf("replica ingest: %v, want ErrNotReady", err)
+	}
+
+	adminB := httptest.NewServer(regB.Handler())
+	defer adminB.Close()
+	res, err := http.Post(adminB.URL+"/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr struct {
+		Promoted []string `json:"promoted"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !reflect.DeepEqual(pr.Promoted, []string{"alpha", "beta"}) {
+		t.Fatalf("promote: %d %+v", res.StatusCode, pr)
+	}
+	res, err = http.Post(adminB.URL+"/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb bytes.Buffer
+	eb.ReadFrom(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusConflict || !bytes.Contains(eb.Bytes(), []byte(CodeNotReplica)) {
+		t.Fatalf("second promote: %d %s", res.StatusCode, eb.String())
+	}
+
+	// The promoted standby serves, durably, with session history intact.
+	ingestN(t, regB, "alpha", "a-c1", "va", 3)
+	ingestN(t, regB, "beta", "b-c2", "vb", 2)
+	alphaB := tenantByID(t, regB, "alpha")
+	alphaB.Service().Drain()
+	tenantByID(t, regB, "beta").Service().Drain()
+	wantAlpha := alphaB.Service().ExportSessions()
+	if err := regB.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	regC := New(durableOptions(clk, rootB))
+	if err := regC.Boot(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer regC.Close(context.Background())
+	gotAlpha := tenantByID(t, regC, "alpha").Service().ExportSessions()
+	if !reflect.DeepEqual(stripSessionTimes(gotAlpha), stripSessionTimes(wantAlpha)) {
+		t.Fatalf("restarted promoted standby diverges:\n got %+v\nwant %+v", gotAlpha, wantAlpha)
+	}
+	if n := len(tenantByID(t, regC, "beta").Service().ExportSessions()); n != 2 {
+		t.Fatalf("beta restored %d sessions, want 2", n)
+	}
+	if err := regA.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tenantByID(t *testing.T, r *Registry, id string) *Tenant {
+	t.Helper()
+	tn, err := r.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+// stripSessionTimes zeroes wall-clock fields so restart comparisons
+// check structure and keys, not timestamps.
+func stripSessionTimes(ss []serve.SessionState) []serve.SessionState {
+	out := make([]serve.SessionState, len(ss))
+	for i, s := range ss {
+		s.LastSeen = serve.SessionState{}.LastSeen
+		for j := range s.Ops {
+			s.Ops[j].Time = s.LastSeen
+		}
+		out[i] = s
+	}
+	return out
+}

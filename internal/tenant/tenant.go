@@ -87,6 +87,11 @@ type Options struct {
 	// handed, before its pipeline is built — the hook for host-local
 	// settings a persisted model cannot know (fine-tune parallelism).
 	Tune func(*core.UCAD)
+	// PrePromote runs before Promote flips replica tenants live —
+	// outside the admin lock, so a standby can stop its replication
+	// follower and drain the last shipped files (which may itself still
+	// be creating tenants) without deadlocking.
+	PrePromote func()
 }
 
 // Registry is the concurrent tenant table: id → running pipeline.
@@ -250,6 +255,13 @@ func (r *Registry) create(spec Spec, u *core.UCAD) (*Tenant, error) {
 		if err := writeSpec(t.dir, spec); err != nil {
 			t.svc.Stop()
 			return fail(fmt.Errorf("tenant %s: %w", id, err))
+		}
+		// Seed the checkpoint manifest so the tenant's directory is
+		// self-contained from birth: a replication follower syncing it
+		// gets a loadable model without access to the spec's model file
+		// (which lives on this machine, maybe outside the data root).
+		if t.ckpts.Count() == 0 {
+			t.svc.CheckpointModel()
 		}
 	}
 	t.svc.Start()

@@ -261,6 +261,34 @@ func (l *Log) Rotate() (uint64, error) {
 	return l.seq, nil
 }
 
+// SkipTo advances the log so the active segment's sequence is at least
+// seq: the current segment is sealed and a fresh one created at seq
+// (no-op when already there). Replication is the one place sequence
+// numbers arrive from outside the log's own rotation chain: a shipped
+// directory can hold a snapshot anchored ahead of every local segment
+// (the primary's segments past the anchor were active, or pruned,
+// and never shipped), and appending below that anchor would write
+// records Recover ignores.
+func (l *Log) SkipTo(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.seq >= seq {
+		return nil
+	}
+	if l.opt.Sync != SyncNever && l.dirty {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	return l.openSegment(seq)
+}
+
 // Sync forces buffered appends to stable storage regardless of policy.
 func (l *Log) Sync() error {
 	l.mu.Lock()

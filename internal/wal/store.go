@@ -47,7 +47,23 @@ func OpenStore(dir string, opt Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, log: l}, nil
+	s := &Store{dir: dir, log: l}
+	// Never append below the newest snapshot's anchor: a replicated
+	// directory can carry a shipped snapshot ahead of every local
+	// segment, and records written under it would be invisible to
+	// Recover (and pruned with the history the snapshot replaced).
+	snaps, err := s.listSnapshots()
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	if n := len(snaps); n > 0 && snaps[n-1] > l.Seq() {
+		if err := l.SkipTo(snaps[n-1]); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 func snapshotName(prefix string, seq uint64) string { return fmt.Sprintf("%s%016d.snap", prefix, seq) }
